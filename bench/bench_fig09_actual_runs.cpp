@@ -1,0 +1,88 @@
+// Figure 9 — Actual runs with Juggler and HiBench schedules: the cost of
+// every schedule (and the developer default) across 1-12 machines, with
+// Juggler's recommended configuration marked by '*'. Also reproduces the
+// §7.2 headline: averaged over the applications, Juggler's schedules at
+// optimal configuration reduce execution time to 25.1 % and cost to 58.1 %
+// of the HiBench defaults.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+
+using namespace juggler;        // NOLINT
+using namespace juggler::bench; // NOLINT
+
+int main() {
+  std::printf("=== Figure 9: actual runs with Juggler and HiBench schedules ===\n");
+
+  double time_ratio_sum = 0.0;
+  double cost_ratio_sum = 0.0;
+  int apps = 0;
+
+  for (const auto& w : workloads::AllWorkloads()) {
+    std::printf("\n--- (%s) ---\n", w.name.c_str());
+    const auto training = TrainOrDie(w);
+    auto recs = training.trained.RecommendAll(w.paper_params,
+                                              minispark::PaperCluster(1));
+    if (!recs.ok()) return 1;
+
+    // Default schedule sweep.
+    const auto default_sweep =
+        SweepMachines(w, w.paper_params, w.make(w.paper_params).default_plan);
+
+    std::vector<std::string> header = {"#Machines", "Default (mach-min)"};
+    for (const auto& r : *recs) {
+      header.push_back("Sched#" + std::to_string(r.schedule_id) +
+                       " (mach-min)");
+    }
+    TablePrinter table(header);
+
+    std::vector<std::vector<SweepPoint>> sweeps;
+    for (const auto& r : *recs) {
+      sweeps.push_back(SweepMachines(w, w.paper_params, r.plan));
+    }
+    for (int m = 1; m <= kMaxMachines; ++m) {
+      std::vector<std::string> row = {
+          std::to_string(m),
+          TablePrinter::Num(default_sweep[static_cast<size_t>(m - 1)]
+                                .cost_machine_min)};
+      for (size_t s = 0; s < sweeps.size(); ++s) {
+        std::string cell = TablePrinter::Num(
+            sweeps[s][static_cast<size_t>(m - 1)].cost_machine_min);
+        if ((*recs)[s].machines == m) cell += " *";
+        row.push_back(cell);
+      }
+      table.AddRow(row);
+    }
+    table.Print(std::cout);
+
+    // Best Juggler schedule at its optimal configuration vs best default.
+    const auto& best_default = CheapestPoint(default_sweep);
+    double best_cost = std::numeric_limits<double>::infinity();
+    double best_time = std::numeric_limits<double>::infinity();
+    for (const auto& sweep : sweeps) {
+      const auto& p = CheapestPoint(sweep);
+      if (p.cost_machine_min < best_cost) best_cost = p.cost_machine_min;
+      for (const auto& q : sweep) best_time = std::min(best_time, q.time_ms);
+    }
+    double best_default_time = std::numeric_limits<double>::infinity();
+    for (const auto& q : default_sweep) {
+      best_default_time = std::min(best_default_time, q.time_ms);
+    }
+    std::printf("best default cost %.1f | best Juggler cost %.1f "
+                "(%.1f %% of default); best time ratio %.1f %%\n",
+                best_default.cost_machine_min, best_cost,
+                100.0 * best_cost / best_default.cost_machine_min,
+                100.0 * best_time / best_default_time);
+    time_ratio_sum += best_time / best_default_time;
+    cost_ratio_sum += best_cost / best_default.cost_machine_min;
+    ++apps;
+  }
+
+  std::printf("\n");
+  PaperVsMeasured("avg execution time vs HiBench", "25.1 %",
+                  TablePrinter::Percent(time_ratio_sum / apps));
+  PaperVsMeasured("avg execution cost vs HiBench", "58.1 %",
+                  TablePrinter::Percent(cost_ratio_sum / apps));
+  return 0;
+}

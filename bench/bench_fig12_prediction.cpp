@@ -1,0 +1,70 @@
+// Figure 12 — Execution-time prediction accuracy: Juggler vs Ernest, per
+// schedule, measured on the optimal cluster configuration at the paper's
+// parameters. The paper reports averages of 90.6 % (Juggler) and 53.2 %
+// (Ernest).
+
+#include <iostream>
+
+#include "baselines/ernest.h"
+#include "bench/bench_common.h"
+#include "math/stats.h"
+
+using namespace juggler;        // NOLINT
+using namespace juggler::bench; // NOLINT
+
+int main() {
+  std::printf("=== Figure 12: Juggler vs Ernest prediction accuracy ===\n\n");
+
+  TablePrinter table({"Application", "Schedule", "#Machines", "Actual (min)",
+                      "Juggler pred. (min)", "Juggler acc.",
+                      "Ernest pred. (min)", "Ernest acc."});
+  double juggler_acc_sum = 0.0;
+  double ernest_acc_sum = 0.0;
+  int cases = 0;
+
+  for (const auto& w : workloads::AllWorkloads()) {
+    const auto training = TrainOrDie(w);
+    auto recs = training.trained.RecommendAll(w.paper_params,
+                                              minispark::PaperCluster(1));
+    if (!recs.ok()) return 1;
+
+    // Ernest trains once per application on small samples across machine
+    // counts (its optimal experiment design), with the developer plan.
+    auto ernest = baselines::TrainErnest(
+        w.make, w.paper_params, minispark::PaperCluster(1),
+        baselines::ErnestExperimentDesign(kMaxMachines), ActualRunOptions(11));
+    if (!ernest.ok()) return 1;
+
+    for (const auto& rec : *recs) {
+      minispark::Engine engine(ActualRunOptions(77));
+      auto actual = engine.Run(w.make(w.paper_params),
+                               minispark::PaperCluster(rec.machines), rec.plan);
+      if (!actual.ok()) return 1;
+
+      const double jug_acc = math::PredictionAccuracy(rec.predicted_time_ms,
+                                                      actual->duration_ms);
+      const double ern_pred = ernest->Predict(1.0, rec.machines);
+      const double ern_acc =
+          math::PredictionAccuracy(ern_pred, actual->duration_ms);
+      juggler_acc_sum += jug_acc;
+      ernest_acc_sum += ern_acc;
+      ++cases;
+
+      table.AddRow({w.name, "#" + std::to_string(rec.schedule_id),
+                    std::to_string(rec.machines),
+                    TablePrinter::Num(ToMinutes(actual->duration_ms)),
+                    TablePrinter::Num(ToMinutes(rec.predicted_time_ms)),
+                    TablePrinter::Percent(jug_acc),
+                    TablePrinter::Num(ToMinutes(ern_pred)),
+                    TablePrinter::Percent(ern_acc)});
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf("\n");
+  PaperVsMeasured("Juggler average prediction accuracy", "90.6 %",
+                  TablePrinter::Percent(juggler_acc_sum / cases));
+  PaperVsMeasured("Ernest average prediction accuracy", "53.2 %",
+                  TablePrinter::Percent(ernest_acc_sum / cases));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 13 — Dataset size prediction accuracy: the sizes Juggler's
+// parameter-calibration models predict for each schedule's cached datasets
+// vs their actual sizes at the paper's parameters. The paper's worst-case
+// error is 0.91 %.
+
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "math/stats.h"
+
+using namespace juggler;        // NOLINT
+using namespace juggler::bench; // NOLINT
+
+int main() {
+  std::printf("=== Figure 13: Juggler's dataset size prediction accuracy ===\n\n");
+
+  TablePrinter table({"Application", "Schedule", "Dataset", "Actual",
+                      "Predicted", "Error"});
+  double worst_error = 0.0;
+
+  for (const auto& w : workloads::AllWorkloads()) {
+    const auto training = TrainOrDie(w);
+    const auto app = w.make(w.paper_params);
+    for (const auto& schedule : training.trained.schedules()) {
+      for (minispark::DatasetId d : schedule.datasets) {
+        const auto& model = training.trained.sizes().models.at(d);
+        const double predicted = model.Predict(w.paper_params.AsVector());
+        const double actual = app.dataset(d).bytes;
+        const double err = math::RelativeError(predicted, actual);
+        worst_error = std::max(worst_error, err);
+        table.AddRow({w.name, "#" + std::to_string(schedule.id),
+                      app.dataset(d).name, FormatBytes(actual),
+                      FormatBytes(predicted), TablePrinter::Percent(err, 2)});
+      }
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf("\n");
+  PaperVsMeasured("worst-case size prediction error", "0.91 %",
+                  TablePrinter::Percent(worst_error, 2));
+  return 0;
+}

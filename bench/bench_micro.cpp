@@ -1,0 +1,114 @@
+// Micro-benchmarks (google-benchmark): raw throughput of the simulator and
+// of Juggler's algorithmic pieces, plus the ablation the DESIGN.md calls
+// out (metrics derived from instrumentation vs Algorithm 1 runtime).
+
+#include <benchmark/benchmark.h>
+
+#include "core/dataset_metrics.h"
+#include "core/hotspot.h"
+#include "core/parameter_calibration.h"
+#include "math/nnls.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace {
+
+using namespace juggler;  // NOLINT
+
+minispark::RunOptions Quiet() {
+  minispark::RunOptions o;
+  o.noise_sigma = 0.0;
+  o.straggler_prob = 0.0;
+  return o;
+}
+
+void BM_EngineRunSvm(benchmark::State& state) {
+  const auto w = workloads::GetWorkload("svm").value();
+  minispark::AppParams p = w.paper_params;
+  p.iterations = static_cast<int>(state.range(0));
+  const auto app = w.make(p);
+  minispark::Engine engine(Quiet());
+  for (auto _ : state) {
+    auto r = engine.RunDefault(app, minispark::PaperCluster(8));
+    benchmark::DoNotOptimize(r->duration_ms);
+  }
+  state.SetItemsProcessed(state.iterations() * p.iterations);
+}
+BENCHMARK(BM_EngineRunSvm)->Arg(10)->Arg(100);
+
+void BM_EngineRunPca(benchmark::State& state) {
+  // PCA stresses the planner: ~1800 datasets, ~100 jobs.
+  const auto w = workloads::GetWorkload("pca").value();
+  const auto app = w.make(w.paper_params);
+  minispark::Engine engine(Quiet());
+  for (auto _ : state) {
+    auto r = engine.RunDefault(app, minispark::PaperCluster(4));
+    benchmark::DoNotOptimize(r->duration_ms);
+  }
+}
+BENCHMARK(BM_EngineRunPca);
+
+void BM_InstrumentedRun(benchmark::State& state) {
+  const auto w = workloads::GetWorkload("lor").value();
+  const auto app = w.make(minispark::AppParams{2000, 500, 3});
+  minispark::RunOptions o = Quiet();
+  o.instrument = true;
+  minispark::Engine engine(o);
+  for (auto _ : state) {
+    auto r = engine.RunDefault(app, minispark::TrainingNode());
+    benchmark::DoNotOptimize(r->profile);
+  }
+}
+BENCHMARK(BM_InstrumentedRun);
+
+void BM_DeriveMetrics(benchmark::State& state) {
+  const auto w = workloads::GetWorkload("lor").value();
+  const auto app = w.make(minispark::AppParams{2000, 500, 3});
+  minispark::RunOptions o = Quiet();
+  o.instrument = true;
+  minispark::Engine engine(o);
+  const auto run = engine.RunDefault(app, minispark::TrainingNode());
+  for (auto _ : state) {
+    auto metrics = core::DeriveDatasetMetrics(*run->profile);
+    benchmark::DoNotOptimize(metrics);
+  }
+}
+BENCHMARK(BM_DeriveMetrics);
+
+void BM_HotspotDetection(benchmark::State& state) {
+  const auto w = workloads::GetWorkload("svm").value();
+  const auto app = w.make(minispark::AppParams{2000, 500,
+                                               static_cast<int>(state.range(0))});
+  minispark::RunOptions o = Quiet();
+  o.instrument = true;
+  minispark::Engine engine(o);
+  const auto run = engine.RunDefault(app, minispark::TrainingNode());
+  const auto metrics = core::DeriveDatasetMetrics(*run->profile).value();
+  const auto dag = core::BuildMergedDag(*run->profile);
+  for (auto _ : state) {
+    auto schedules = core::DetectHotspots(dag, metrics);
+    benchmark::DoNotOptimize(schedules);
+  }
+}
+BENCHMARK(BM_HotspotDetection)->Arg(3)->Arg(20);
+
+void BM_NnlsFit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(99);
+  math::Matrix a(n, 4);
+  std::vector<double> b(static_cast<size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < 4; ++c) a(r, c) = rng.Uniform(0, 2);
+    b[static_cast<size_t>(r)] = rng.Uniform(0, 10);
+  }
+  for (auto _ : state) {
+    std::vector<double> x;
+    auto st = math::NonNegativeLeastSquares(a, b, &x);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_NnlsFit)->Arg(9)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,200 @@
+#include "baselines/cache_baselines.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/hotspot.h"
+
+namespace juggler::baselines {
+
+using core::DatasetMetric;
+using core::MergedDag;
+using core::Schedule;
+using minispark::DatasetId;
+
+std::string CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLrc:
+      return "LRC";
+    case CachePolicy::kMrd:
+      return "MRD";
+    case CachePolicy::kHagedorn:
+      return "[23]";
+    case CachePolicy::kNagel:
+      return "[44]";
+    case CachePolicy::kJindal:
+      return "[28]";
+  }
+  return "?";
+}
+
+std::vector<CachePolicy> AllCachePolicies() {
+  return {CachePolicy::kNagel, CachePolicy::kJindal, CachePolicy::kHagedorn,
+          CachePolicy::kLrc, CachePolicy::kMrd};
+}
+
+namespace {
+
+/// Job indices in which each dataset is computed at least once, given the
+/// cached set (for MRD's reference distances).
+std::vector<std::vector<int>> ReferencingJobs(const MergedDag& dag,
+                                              const std::set<DatasetId>& cached) {
+  const size_t n = static_cast<size_t>(dag.num_datasets());
+  std::vector<std::vector<int>> refs(n);
+  std::vector<long long> mult(n, 0);
+  std::vector<bool> materialized(n, false);
+  for (size_t j = 0; j < dag.job_targets.size(); ++j) {
+    std::fill(mult.begin(), mult.end(), 0);
+    mult[static_cast<size_t>(dag.job_targets[j])] = 1;
+    for (int id = dag.num_datasets() - 1; id >= 0; --id) {
+      const long long m = mult[static_cast<size_t>(id)];
+      if (m == 0) continue;
+      if (cached.count(id) > 0) {
+        // A read of a cached dataset is still a reference for MRD.
+        refs[static_cast<size_t>(id)].push_back(static_cast<int>(j));
+        if (materialized[static_cast<size_t>(id)]) continue;
+        materialized[static_cast<size_t>(id)] = true;
+        for (DatasetId p : dag.datasets[static_cast<size_t>(id)].parents) {
+          mult[static_cast<size_t>(p)] += 1;
+        }
+      } else {
+        refs[static_cast<size_t>(id)].push_back(static_cast<int>(j));
+        for (DatasetId p : dag.datasets[static_cast<size_t>(id)].parents) {
+          mult[static_cast<size_t>(p)] += m;
+        }
+      }
+    }
+  }
+  return refs;
+}
+
+double MrdScore(const std::vector<int>& refs) {
+  if (refs.size() < 2) return 0.0;
+  const double span = static_cast<double>(refs.back() - refs.front());
+  const double avg_gap = span / static_cast<double>(refs.size() - 1);
+  // More references with smaller distances rank higher.
+  return static_cast<double>(refs.size()) / (avg_gap + 1.0);
+}
+
+double ScheduleBenefitMs(const MergedDag& dag, const std::vector<double>& et,
+                         const std::vector<DatasetId>& datasets) {
+  const auto base = core::EffectiveComputationCounts(dag, {});
+  const auto with =
+      core::EffectiveComputationCounts(dag, {datasets.begin(), datasets.end()});
+  double saved = 0.0;
+  for (size_t i = 0; i < base.size(); ++i) {
+    saved += static_cast<double>(base[i] - with[i]) * et[i];
+  }
+  return saved;
+}
+
+Schedule MakeSchedule(const MergedDag& dag, const std::vector<double>& et,
+                      const std::map<DatasetId, double>& sizes,
+                      const std::vector<DatasetId>& datasets, int id) {
+  Schedule s;
+  s.id = id;
+  s.datasets = datasets;
+  s.plan = core::RenderSchedulePlan(dag, datasets, /*unpersist=*/false);
+  s.memory_bytes = core::PeakPlanBytes(s.plan, sizes);
+  s.benefit_ms = ScheduleBenefitMs(dag, et, datasets);
+  return s;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Schedule>> SelectSchedulesWithPolicy(
+    CachePolicy policy, const MergedDag& dag,
+    const std::vector<DatasetMetric>& metrics, int max_schedules) {
+  const size_t n = static_cast<size_t>(dag.num_datasets());
+  std::vector<double> et(n, 0.0);
+  std::map<DatasetId, double> sizes;
+  std::set<DatasetId> candidates;
+  for (const DatasetMetric& m : metrics) {
+    if (m.id < 0 || m.id >= dag.num_datasets()) {
+      return Status::InvalidArgument("metric for unknown dataset " +
+                                     std::to_string(m.id));
+    }
+    et[static_cast<size_t>(m.id)] = m.compute_time_ms;
+    sizes[m.id] = m.size_bytes;
+    if (m.computations > 1) candidates.insert(m.id);
+  }
+
+  std::vector<Schedule> schedules;
+
+  if (policy == CachePolicy::kJindal) {
+    // Static sub-expression utilities, never re-evaluated: schedule k is the
+    // top-k by utility.
+    const auto n_base = core::EffectiveComputationCounts(dag, {});
+    std::vector<std::pair<double, DatasetId>> ranked;
+    for (DatasetId d : candidates) {
+      const double utility = core::CachingBenefitMs(
+          dag, et, {}, n_base[static_cast<size_t>(d)], d);
+      if (utility > 0.0) ranked.push_back({utility, d});
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.first != b.first) return a.first > b.first;
+      return a.second < b.second;
+    });
+    std::vector<DatasetId> selected;
+    for (const auto& [utility, d] : ranked) {
+      if (static_cast<int>(schedules.size()) >= max_schedules) break;
+      selected.push_back(d);
+      schedules.push_back(MakeSchedule(dag, et, sizes, selected,
+                                       static_cast<int>(schedules.size()) + 1));
+    }
+    return schedules;
+  }
+
+  std::vector<DatasetId> selected;
+  while (static_cast<int>(schedules.size()) < max_schedules) {
+    const std::set<DatasetId> cached(selected.begin(), selected.end());
+    const auto n_eff = core::EffectiveComputationCounts(dag, cached);
+    const auto refs = policy == CachePolicy::kMrd
+                          ? ReferencingJobs(dag, cached)
+                          : std::vector<std::vector<int>>{};
+
+    DatasetId best = minispark::kInvalidDataset;
+    double best_score = 0.0;
+    for (DatasetId d : candidates) {
+      if (cached.count(d) > 0) continue;
+      double score = 0.0;
+      switch (policy) {
+        case CachePolicy::kLrc:
+          // Reference count: recomputations remaining under current caching.
+          score = n_eff[static_cast<size_t>(d)] > 1
+                      ? static_cast<double>(n_eff[static_cast<size_t>(d)])
+                      : 0.0;
+          break;
+        case CachePolicy::kMrd:
+          score = MrdScore(refs[static_cast<size_t>(d)]);
+          break;
+        case CachePolicy::kHagedorn:
+          score = core::CachingBenefitMs(dag, et, cached,
+                                         n_eff[static_cast<size_t>(d)], d);
+          break;
+        case CachePolicy::kNagel:
+          score = core::CachingBenefitMs(dag, et, cached,
+                                         n_eff[static_cast<size_t>(d)], d) /
+                  std::max(1.0, sizes[d]);
+          break;
+        case CachePolicy::kJindal:
+          break;  // Handled above.
+      }
+      // Ties break toward the deeper (larger-id) dataset: on equal
+      // reference counts, LRC/MRD keep the most derived data.
+      if (score > best_score ||
+          (score == best_score && score > 0.0 && d > best)) {
+        best_score = score;
+        best = d;
+      }
+    }
+    if (best == minispark::kInvalidDataset || best_score <= 0.0) break;
+    selected.push_back(best);
+    schedules.push_back(MakeSchedule(dag, et, sizes, selected,
+                                     static_cast<int>(schedules.size()) + 1));
+  }
+  return schedules;
+}
+
+}  // namespace juggler::baselines

@@ -1,0 +1,51 @@
+#ifndef JUGGLER_BASELINES_CACHE_BASELINES_H_
+#define JUGGLER_BASELINES_CACHE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/dataset_metrics.h"
+#include "core/schedule.h"
+
+namespace juggler::baselines {
+
+/// \brief The related dataset-selection cost models the paper compares
+/// against in §7.2, adapted exactly as described there: each becomes a
+/// schedule generator that picks one more dataset per schedule, updating
+/// reference counts with respect to previously selected datasets.
+enum class CachePolicy {
+  /// LRC (Yu et al.): rank by reference count; size and computation time
+  /// are ignored.
+  kLrc,
+  /// MRD (Perez et al.): rank by reference distance (how soon and how often
+  /// upcoming jobs reference the dataset); size and time ignored.
+  kMrd,
+  /// Hagedorn & Sattler: benefit = (n-1) x recomputation-chain time; size
+  /// ignored (HDFS assumed plentiful).
+  kHagedorn,
+  /// Nagel et al.: benefit/size like Juggler, but with neither
+  /// re-evaluation nor unpersist.
+  kNagel,
+  /// Jindal et al.: sub-expression utility = total time saved; utilities
+  /// are not re-evaluated against previously materialized selections.
+  kJindal,
+};
+
+/// Short display name ("LRC", "MRD", "[23]", "[44]", "[28]").
+std::string CachePolicyName(CachePolicy policy);
+
+/// All five policies, in the paper's Table 3 order ([44], [28], [23], LRC,
+/// MRD).
+std::vector<CachePolicy> AllCachePolicies();
+
+/// \brief Produces the incremental schedules a policy recommends. Mirrors
+/// §7.2's adaptation: the first schedule caches the top-ranked dataset;
+/// each following schedule re-ranks (policy permitting) and adds the next.
+StatusOr<std::vector<core::Schedule>> SelectSchedulesWithPolicy(
+    CachePolicy policy, const core::MergedDag& dag,
+    const std::vector<core::DatasetMetric>& metrics, int max_schedules = 8);
+
+}  // namespace juggler::baselines
+
+#endif  // JUGGLER_BASELINES_CACHE_BASELINES_H_

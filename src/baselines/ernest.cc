@@ -1,0 +1,74 @@
+#include "baselines/ernest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/nnls.h"
+
+namespace juggler::baselines {
+
+double ErnestModel::Predict(double scale, int machines) const {
+  const double m = static_cast<double>(machines);
+  return theta[0] + theta[1] * (scale / m) + theta[2] * std::log(m) +
+         theta[3] * m;
+}
+
+int ErnestModel::CheapestMachines(int max_machines) const {
+  int best = 1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int m = 1; m <= max_machines; ++m) {
+    const double cost = static_cast<double>(m) * Predict(1.0, m);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = m;
+    }
+  }
+  return best;
+}
+
+std::vector<std::pair<double, int>> ErnestExperimentDesign(int max_machines) {
+  const int mm = std::max(1, max_machines);
+  auto clamp_m = [mm](int m) { return std::min(mm, std::max(1, m)); };
+  return {
+      {0.0125, clamp_m(1)}, {0.025, clamp_m(2)},  {0.05, clamp_m(4)},
+      {0.05, clamp_m(6)},   {0.025, clamp_m(10)}, {0.1, clamp_m(8)},
+      {0.1, clamp_m(mm)},
+  };
+}
+
+StatusOr<ErnestModel> TrainErnest(
+    const core::AppFactory& factory, const minispark::AppParams& full_params,
+    const minispark::ClusterConfig& machine_type,
+    const std::vector<std::pair<double, int>>& design,
+    const minispark::RunOptions& run_options) {
+  if (design.size() < 4) {
+    return Status::InvalidArgument(
+        "Ernest needs at least 4 experiments to fit its 4 coefficients");
+  }
+  math::Matrix a(static_cast<int>(design.size()), 4);
+  std::vector<double> b(design.size());
+
+  minispark::RunOptions options = run_options;
+  for (size_t i = 0; i < design.size(); ++i) {
+    const auto [scale, machines] = design[i];
+    minispark::AppParams params = full_params;
+    params.examples = std::max(1.0, full_params.examples * scale);
+    minispark::Engine engine(options);
+    const minispark::Application app = factory(params);
+    auto result = engine.RunDefault(app, machine_type.WithMachines(machines));
+    if (!result.ok()) return result.status();
+    const int r = static_cast<int>(i);
+    a(r, 0) = 1.0;
+    a(r, 1) = scale / static_cast<double>(machines);
+    a(r, 2) = std::log(static_cast<double>(machines));
+    a(r, 3) = static_cast<double>(machines);
+    b[i] = result->duration_ms;
+    options.seed += 1;
+  }
+
+  ErnestModel model;
+  JUGGLER_RETURN_IF_ERROR(math::NonNegativeLeastSquares(a, b, &model.theta));
+  return model;
+}
+
+}  // namespace juggler::baselines

@@ -1,0 +1,50 @@
+#ifndef JUGGLER_BASELINES_ERNEST_H_
+#define JUGGLER_BASELINES_ERNEST_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/parameter_calibration.h"
+#include "minispark/cache_plan.h"
+#include "minispark/cluster.h"
+#include "minispark/engine.h"
+
+namespace juggler::baselines {
+
+/// \brief Ernest's performance model (Venkataraman et al., NSDI'16):
+///
+///   time = t0 + t1 * (scale / machines) + t2 * log(machines) + t3 * machines
+///
+/// fitted with non-negative least squares. `scale` is the input fraction
+/// relative to the full run. The model captures serial, parallel and
+/// coordination terms but — as the paper stresses — has no notion of cache
+/// limitation, which is why it mispredicts area A.
+struct ErnestModel {
+  std::vector<double> theta = {0, 0, 0, 0};
+
+  double Predict(double scale, int machines) const;
+
+  /// Machine count in [1, max_machines] minimizing predicted cost
+  /// (machines x predicted time) at full scale.
+  int CheapestMachines(int max_machines) const;
+};
+
+/// \brief Ernest's training configurations: (input scale, machines) pairs
+/// spanning 1..max_machines with 1-10 % samples, following its optimal
+/// experiment design (7 experiments).
+std::vector<std::pair<double, int>> ErnestExperimentDesign(int max_machines);
+
+/// \brief Trains Ernest for an application by running the designed
+/// experiments on the engine: input scale is applied to the example count.
+/// The runs use the application's developer cache plan (Ernest treats the
+/// application as a black box). Returns the fitted model.
+StatusOr<ErnestModel> TrainErnest(
+    const core::AppFactory& factory, const minispark::AppParams& full_params,
+    const minispark::ClusterConfig& machine_type,
+    const std::vector<std::pair<double, int>>& design,
+    const minispark::RunOptions& run_options);
+
+}  // namespace juggler::baselines
+
+#endif  // JUGGLER_BASELINES_ERNEST_H_

@@ -1,0 +1,50 @@
+#include "baselines/sizing_baselines.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace juggler::baselines {
+
+namespace {
+
+int MachinesFor(double bytes, double per_machine) {
+  if (per_machine <= 0.0 || bytes <= 0.0) return 1;
+  return std::max(1, static_cast<int>(std::ceil(bytes / per_machine)));
+}
+
+}  // namespace
+
+int MemTuneMachines(const SizingInputs& inputs) {
+  const double unified = inputs.machine_type.UnifiedMemoryPerMachine();
+  if (inputs.exec_fraction < 0.10) {
+    // Execution pressure looks negligible online, so the tuner hands all of
+    // M to storage — and the first execution burst then evicts blocks.
+    return MachinesFor(inputs.schedule_bytes, unified);
+  }
+  // Execution-heavy: reserve the observed share padded by the GC-aversion
+  // factor before sizing storage.
+  const double reserved = std::min(0.8, 1.8 * inputs.exec_fraction);
+  return MachinesFor(inputs.schedule_bytes, unified * (1.0 - reserved));
+}
+
+int RelMMachines(const SizingInputs& inputs) {
+  constexpr double kSafetyFactor = 1.5;
+  const double unified = inputs.machine_type.UnifiedMemoryPerMachine();
+  const double usable = unified * (1.0 - inputs.exec_fraction);
+  return MachinesFor(kSafetyFactor * inputs.schedule_bytes, usable);
+}
+
+int SystemMlMachines(const SizingInputs& inputs) {
+  const double unified = inputs.machine_type.UnifiedMemoryPerMachine();
+  const double worst_case =
+      inputs.input_bytes + inputs.schedule_bytes + inputs.output_bytes;
+  return MachinesFor(worst_case, unified);
+}
+
+std::vector<SizingBaseline> AllSizingBaselines() {
+  return {{"MemTune", MemTuneMachines},
+          {"RelM", RelMMachines},
+          {"SystemML", SystemMlMachines}};
+}
+
+}  // namespace juggler::baselines

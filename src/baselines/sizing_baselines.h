@@ -1,0 +1,51 @@
+#ifndef JUGGLER_BASELINES_SIZING_BASELINES_H_
+#define JUGGLER_BASELINES_SIZING_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "minispark/cluster.h"
+
+namespace juggler::baselines {
+
+/// \brief What the cluster-sizing comparators look at when picking a
+/// machine count (paper §7.5's adaptation: their memory cost models tune
+/// #machines instead of the executor memory fraction).
+struct SizingInputs {
+  /// Peak cached bytes of the schedule under consideration.
+  double schedule_bytes = 0.0;
+  /// Application input size (SystemML's worst case fits input + output too).
+  double input_bytes = 0.0;
+  /// Driver/output size (small for ML models).
+  double output_bytes = 0.0;
+  /// Measured execution share of the unified region M (0..1).
+  double exec_fraction = 0.0;
+  minispark::ClusterConfig machine_type;
+};
+
+/// \brief MemTune (Xu et al.): dynamically rebalances execution vs storage,
+/// prioritizing execution to curb GC. Adapted to sizing: when the app looks
+/// execution-light it budgets the whole of M for caching (under-provisions —
+/// cache eviction); otherwise it reserves an execution share padded by its
+/// GC-aversion factor (over-allocates).
+int MemTuneMachines(const SizingInputs& inputs);
+
+/// \brief RelM (Kunjir & Babu): white-box memory accounting with a safety
+/// factor for error-free runs, low GC and task concurrency — consistently
+/// over-allocates but achieves the lowest times.
+int RelMMachines(const SizingInputs& inputs);
+
+/// \brief SystemML (Boehm et al.): worst-case estimates that fit input,
+/// intermediates and output in memory simultaneously.
+int SystemMlMachines(const SizingInputs& inputs);
+
+/// Names in the paper's Table 4 order.
+struct SizingBaseline {
+  std::string name;
+  int (*recommend)(const SizingInputs&);
+};
+std::vector<SizingBaseline> AllSizingBaselines();
+
+}  // namespace juggler::baselines
+
+#endif  // JUGGLER_BASELINES_SIZING_BASELINES_H_

@@ -1,0 +1,76 @@
+#ifndef JUGGLER_COMMON_LOGGING_H_
+#define JUGGLER_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace juggler {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal leveled logger.
+///
+/// The library is mostly silent by default (kWarning); tools and examples can
+/// lower the threshold. A global threshold is enough here: the simulator is
+/// single-threaded per run and the benches are batch programs.
+class Logger {
+ public:
+  static LogLevel threshold() { return threshold_; }
+  static void set_threshold(LogLevel level) { threshold_ = level; }
+
+  /// One log statement; flushes on destruction.
+  class Line {
+   public:
+    Line(LogLevel level, const char* file, int line) : level_(level) {
+      stream_ << "[" << Name(level) << " " << Basename(file) << ":" << line
+              << "] ";
+    }
+    ~Line() {
+      if (level_ >= threshold_) {
+        stream_ << '\n';
+        std::cerr << stream_.str();
+      }
+    }
+    template <typename T>
+    Line& operator<<(const T& v) {
+      stream_ << v;
+      return *this;
+    }
+
+   private:
+    static const char* Name(LogLevel level) {
+      switch (level) {
+        case LogLevel::kDebug:
+          return "DEBUG";
+        case LogLevel::kInfo:
+          return "INFO";
+        case LogLevel::kWarning:
+          return "WARN";
+        case LogLevel::kError:
+          return "ERROR";
+      }
+      return "?";
+    }
+    static const char* Basename(const char* file) {
+      const char* base = file;
+      for (const char* p = file; *p; ++p) {
+        if (*p == '/') base = p + 1;
+      }
+      return base;
+    }
+
+    LogLevel level_;
+    std::ostringstream stream_;
+  };
+
+ private:
+  static inline LogLevel threshold_ = LogLevel::kWarning;
+};
+
+}  // namespace juggler
+
+#define JUGGLER_LOG(level) \
+  ::juggler::Logger::Line(::juggler::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // JUGGLER_COMMON_LOGGING_H_

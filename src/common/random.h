@@ -1,0 +1,86 @@
+#ifndef JUGGLER_COMMON_RANDOM_H_
+#define JUGGLER_COMMON_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace juggler {
+
+/// \brief Deterministic, seedable pseudo-random generator (xoshiro256**).
+///
+/// All stochastic behaviour in the simulator (task jitter, stragglers,
+/// training-parameter sampling) flows through this class so that runs are
+/// reproducible given a seed. Not thread-safe; each simulated run owns one.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. A SplitMix64 scrambler expands the seed so that
+  /// nearby seeds produce unrelated streams.
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller.
+  double Normal() {
+    double u1 = Uniform();
+    double u2 = Uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Normal with mean/stddev.
+  double Normal(double mean, double stddev) { return mean + stddev * Normal(); }
+
+  /// Lognormal multiplicative jitter with E[x] close to 1 for small sigma.
+  double Jitter(double sigma) {
+    return std::exp(Normal(-0.5 * sigma * sigma, sigma));
+  }
+
+  /// Returns true with probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_COMMON_RANDOM_H_

@@ -1,0 +1,38 @@
+#ifndef JUGGLER_COMMON_TABLE_PRINTER_H_
+#define JUGGLER_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace juggler {
+
+/// \brief Fixed-width ASCII table writer used by the benchmark harnesses to
+/// print paper-style tables and figure series.
+///
+/// Usage:
+///   TablePrinter t({"App", "#Machines", "Cost (machine min)"});
+///   t.AddRow({"svm", "7", "24.2"});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 1);
+  /// Formats a ratio as a percentage string, e.g. 0.581 -> "58.1 %".
+  static std::string Percent(double ratio, int precision = 1);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace juggler
+
+#endif  // JUGGLER_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,36 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace juggler {
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  const double abs = std::fabs(bytes);
+  if (abs >= GiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB", ToGiB(bytes));
+  } else if (abs >= MiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB", ToMiB(bytes));
+  } else if (abs >= KiB(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB", bytes / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f B", bytes);
+  }
+  return buf;
+}
+
+std::string FormatTime(double ms) {
+  char buf[64];
+  const double abs = std::fabs(ms);
+  if (abs >= Minutes(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f min", ToMinutes(ms));
+  } else if (abs >= Seconds(1)) {
+    std::snprintf(buf, sizeof(buf), "%.1f s", ToSeconds(ms));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  }
+  return buf;
+}
+
+}  // namespace juggler

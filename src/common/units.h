@@ -1,0 +1,40 @@
+#ifndef JUGGLER_COMMON_UNITS_H_
+#define JUGGLER_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace juggler {
+
+/// Simulated quantities use plain doubles with documented units:
+///  - time: milliseconds (ms)
+///  - data: bytes
+/// These helpers keep call sites readable (`GiB(12)` instead of raw powers).
+
+constexpr double KiB(double v) { return v * 1024.0; }
+constexpr double MiB(double v) { return v * 1024.0 * 1024.0; }
+constexpr double GiB(double v) { return v * 1024.0 * 1024.0 * 1024.0; }
+
+constexpr double Seconds(double v) { return v * 1000.0; }
+constexpr double Minutes(double v) { return v * 60.0 * 1000.0; }
+
+constexpr double ToSeconds(double ms) { return ms / 1000.0; }
+constexpr double ToMinutes(double ms) { return ms / 60000.0; }
+constexpr double ToMiB(double bytes) { return bytes / (1024.0 * 1024.0); }
+constexpr double ToGiB(double bytes) { return bytes / (1024.0 * 1024.0 * 1024.0); }
+
+/// Formats a byte count as a short human string, e.g. "35.9 GB".
+std::string FormatBytes(double bytes);
+
+/// Formats milliseconds as a short human string, e.g. "4.2 min".
+std::string FormatTime(double ms);
+
+/// Machine-minutes given a machine count and a duration in ms. This is the
+/// paper's cost unit (#machines x time).
+constexpr double MachineMinutes(int machines, double ms) {
+  return static_cast<double>(machines) * ToMinutes(ms);
+}
+
+}  // namespace juggler
+
+#endif  // JUGGLER_COMMON_UNITS_H_

@@ -1,0 +1,240 @@
+#include "core/dataset_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace juggler::core {
+
+using minispark::ProfilingDb;
+using minispark::TransformPart;
+using minispark::TransformRecord;
+
+bool MergedDag::IsDescendant(DatasetId ancestor, DatasetId descendant) const {
+  if (ancestor == descendant) return false;
+  std::vector<DatasetId> stack = {ancestor};
+  std::set<DatasetId> seen = {ancestor};
+  while (!stack.empty()) {
+    const DatasetId id = stack.back();
+    stack.pop_back();
+    for (DatasetId c : children[static_cast<size_t>(id)]) {
+      if (c == descendant) return true;
+      if (seen.insert(c).second) stack.push_back(c);
+    }
+  }
+  return false;
+}
+
+std::vector<DatasetId> MergedDag::Lineage(DatasetId target) const {
+  std::vector<bool> seen(static_cast<size_t>(num_datasets()), false);
+  std::vector<DatasetId> stack = {target};
+  seen[static_cast<size_t>(target)] = true;
+  while (!stack.empty()) {
+    const DatasetId id = stack.back();
+    stack.pop_back();
+    for (DatasetId p : datasets[static_cast<size_t>(id)].parents) {
+      if (!seen[static_cast<size_t>(p)]) {
+        seen[static_cast<size_t>(p)] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  std::vector<DatasetId> out;
+  for (int i = 0; i < num_datasets(); ++i) {
+    if (seen[static_cast<size_t>(i)]) out.push_back(i);
+  }
+  return out;
+}
+
+int MergedDag::FirstJobComputing(DatasetId d) const {
+  for (size_t j = 0; j < job_targets.size(); ++j) {
+    const auto lineage = Lineage(job_targets[j]);
+    if (std::binary_search(lineage.begin(), lineage.end(), d)) {
+      return static_cast<int>(j);
+    }
+  }
+  return -1;
+}
+
+bool MergedDag::OnlyUsedVia(int job, DatasetId x, DatasetId via) const {
+  const DatasetId target = job_targets[static_cast<size_t>(job)];
+  // Walk parent edges from the target, never entering `via`. If `x` is still
+  // reachable, the job uses x on a path that bypasses `via`.
+  std::set<DatasetId> seen = {target};
+  std::vector<DatasetId> stack;
+  if (target != via) stack.push_back(target);
+  while (!stack.empty()) {
+    const DatasetId id = stack.back();
+    stack.pop_back();
+    for (DatasetId p : datasets[static_cast<size_t>(id)].parents) {
+      if (p == via) continue;
+      if (p == x) return false;
+      if (seen.insert(p).second) stack.push_back(p);
+    }
+  }
+  return true;
+}
+
+MergedDag BuildMergedDag(const ProfilingDb& db) {
+  MergedDag dag;
+  dag.datasets = db.datasets();
+  std::sort(dag.datasets.begin(), dag.datasets.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  dag.children.assign(dag.datasets.size(), {});
+  for (const auto& d : dag.datasets) {
+    for (DatasetId p : d.parents) {
+      dag.children[static_cast<size_t>(p)].push_back(d.id);
+    }
+  }
+  for (auto& c : dag.children) {
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+  }
+  for (const auto& job : db.jobs()) dag.job_targets.push_back(job.target);
+  return dag;
+}
+
+namespace {
+
+/// n per dataset: for each job, multiplicities propagate from the target to
+/// parents (one computation per lineage path); totals add up across jobs.
+std::vector<long long> CountComputations(const MergedDag& dag) {
+  std::vector<long long> counts(static_cast<size_t>(dag.num_datasets()), 0);
+  std::vector<long long> mult(counts.size());
+  for (DatasetId target : dag.job_targets) {
+    std::fill(mult.begin(), mult.end(), 0);
+    mult[static_cast<size_t>(target)] = 1;
+    for (int id = dag.num_datasets() - 1; id >= 0; --id) {
+      const long long m = mult[static_cast<size_t>(id)];
+      if (m == 0) continue;
+      counts[static_cast<size_t>(id)] += m;
+      for (DatasetId p : dag.datasets[static_cast<size_t>(id)].parents) {
+        mult[static_cast<size_t>(p)] += m;
+      }
+    }
+  }
+  return counts;
+}
+
+struct TaskKey {
+  int job;
+  int stage;
+  int task;
+  friend auto operator<=>(const TaskKey&, const TaskKey&) = default;
+};
+
+struct GroupKey {
+  DatasetId dataset;
+  TransformPart part;
+  int job;
+  int stage;
+  friend auto operator<=>(const GroupKey&, const GroupKey&) = default;
+};
+
+}  // namespace
+
+StatusOr<std::vector<DatasetMetric>> DeriveDatasetMetrics(
+    const ProfilingDb& db) {
+  if (db.datasets().empty()) {
+    return Status::InvalidArgument("profile contains no dataset records");
+  }
+  const MergedDag dag = BuildMergedDag(db);
+  const std::vector<long long> counts = CountComputations(dag);
+
+  // Task boundaries, for the three ENT cases of Eq. 2.
+  std::map<TaskKey, std::pair<double, double>> task_bounds;
+  for (const auto& t : db.tasks()) {
+    task_bounds[{t.job, t.stage, t.task_index}] = {t.start_ms, t.finish_ms};
+  }
+  std::map<int, int> stage_tasks;  // stage id -> #tasks.
+  for (const auto& s : db.stages()) stage_tasks[s.stage] = s.num_tasks;
+
+  // Index transform records per task in evaluation order to find each
+  // record's position (first / middle / last).
+  std::map<TaskKey, std::vector<const TransformRecord*>> per_task;
+  for (const auto& r : db.transforms()) {
+    per_task[{r.job, r.stage, r.task_index}].push_back(&r);
+  }
+  for (auto& [key, records] : per_task) {
+    std::sort(records.begin(), records.end(),
+              [](const TransformRecord* a, const TransformRecord* b) {
+                return a->start_ms < b->start_ms;
+              });
+  }
+
+  // ENT samples per (dataset, part, job, stage) group.
+  std::map<GroupKey, std::vector<double>> groups;
+  for (const auto& [key, records] : per_task) {
+    const auto bounds_it = task_bounds.find(key);
+    if (bounds_it == task_bounds.end()) {
+      return Status::Internal("transform record without task record");
+    }
+    const auto [task_start, task_finish] = bounds_it->second;
+    for (size_t i = 0; i < records.size(); ++i) {
+      const TransformRecord& r = *records[i];
+      if (r.from_cache) continue;  // Cache reads are not computations.
+      double ent;
+      if (i == 0) {
+        ent = r.finish_ms - task_start;  // Case 1: first in task.
+      } else if (i + 1 == records.size()) {
+        ent = task_finish - r.start_ms;  // Case 2: last in task.
+      } else {
+        ent = r.finish_ms - r.start_ms;  // Case 3: between transformations.
+      }
+      groups[{r.dataset, r.part, r.job, r.stage}].push_back(ent);
+    }
+  }
+
+  // ET per group (Eq. 2), then averaged per (dataset, part) across
+  // occurrences; wide datasets sum write + read parts (Eq. 3).
+  std::map<std::pair<DatasetId, TransformPart>, std::pair<double, int>> part_et;
+  const int total_cores = std::max(1, db.total_cores());
+  for (const auto& [key, ents] : groups) {
+    double sum = 0.0;
+    for (double e : ents) sum += e;
+    const auto tasks_it = stage_tasks.find(key.stage);
+    const int n_tasks =
+        tasks_it != stage_tasks.end() ? tasks_it->second
+                                      : static_cast<int>(ents.size());
+    const double waves =
+        std::ceil(static_cast<double>(n_tasks) / total_cores);
+    const double et = (sum / static_cast<double>(ents.size())) * waves;
+    auto& [acc, n] = part_et[{key.dataset, key.part}];
+    acc += et;
+    ++n;
+  }
+
+  // Dataset sizes: per partition, first observed occurrence (any part that
+  // reports bytes).
+  std::map<DatasetId, std::map<int, double>> partition_bytes;
+  for (const auto& r : db.transforms()) {
+    if (r.part == TransformPart::kShuffleWrite) continue;
+    auto& parts = partition_bytes[r.dataset];
+    parts.emplace(r.task_index, r.partition_bytes);
+  }
+
+  std::vector<DatasetMetric> metrics;
+  metrics.reserve(dag.datasets.size());
+  for (const auto& d : dag.datasets) {
+    DatasetMetric m;
+    m.id = d.id;
+    m.name = d.name;
+    m.computations = counts[static_cast<size_t>(d.id)];
+    if (auto it = partition_bytes.find(d.id); it != partition_bytes.end()) {
+      for (const auto& [partition, bytes] : it->second) m.size_bytes += bytes;
+    }
+    double et = 0.0;
+    for (TransformPart part : {TransformPart::kMain, TransformPart::kShuffleWrite,
+                               TransformPart::kShuffleRead}) {
+      if (auto it = part_et.find({d.id, part}); it != part_et.end()) {
+        et += it->second.first / it->second.second;
+      }
+    }
+    m.compute_time_ms = et;
+    metrics.push_back(std::move(m));
+  }
+  return metrics;
+}
+
+}  // namespace juggler::core

@@ -1,0 +1,67 @@
+#ifndef JUGGLER_CORE_DATASET_METRICS_H_
+#define JUGGLER_CORE_DATASET_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "minispark/profiling.h"
+
+namespace juggler::core {
+
+using minispark::DatasetId;
+
+/// \brief The application's merged DAG of operators (paper §3.1),
+/// reconstructed purely from instrumentation records — Juggler never reads
+/// the application source.
+struct MergedDag {
+  std::vector<minispark::DatasetRecord> datasets;
+  std::vector<std::vector<DatasetId>> children;
+  /// Target dataset of each job, in execution order.
+  std::vector<DatasetId> job_targets;
+
+  int num_datasets() const { return static_cast<int>(datasets.size()); }
+
+  /// True if `descendant` is reachable from `ancestor` via child edges.
+  bool IsDescendant(DatasetId ancestor, DatasetId descendant) const;
+
+  /// Datasets in the lineage of `target` (reachable via parent edges,
+  /// including the target itself), ascending.
+  std::vector<DatasetId> Lineage(DatasetId target) const;
+
+  /// Index of the first job whose lineage contains `d`, or -1.
+  int FirstJobComputing(DatasetId d) const;
+
+  /// True if, in job `job`, dataset `x` is only needed to produce `via`
+  /// (removing `via` disconnects `x` from the job target).
+  bool OnlyUsedVia(int job, DatasetId x, DatasetId via) const;
+};
+
+/// Builds the merged DAG from an instrumented run's profile.
+MergedDag BuildMergedDag(const minispark::ProfilingDb& db);
+
+/// \brief Per-dataset metrics derived from one instrumented sample run
+/// (paper §3): number of computations, size, computation time.
+struct DatasetMetric {
+  DatasetId id = minispark::kInvalidDataset;
+  std::string name;
+  /// n — times the dataset is computed if nothing were cached (§3.1).
+  long long computations = 0;
+  /// Sum of partition sizes (§3.2), bytes.
+  double size_bytes = 0.0;
+  /// ET_Ti — the operator-level execution-time model of §3.3 (Eq. 1-3), ms.
+  double compute_time_ms = 0.0;
+};
+
+/// \brief Derives metrics for every dataset observed in the profile.
+///
+/// Computation counts come from path-counting over the merged DAG;
+/// computation times apply Equation 2 (narrow; three ENT cases averaged over
+/// tasks, times the wave count) and Equation 3 (wide = Shuffle Write +
+/// Shuffle Read); cache-served occurrences are excluded from timing.
+StatusOr<std::vector<DatasetMetric>> DeriveDatasetMetrics(
+    const minispark::ProfilingDb& db);
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_DATASET_METRICS_H_

@@ -1,0 +1,101 @@
+#include "core/exec_time_model.h"
+
+#include "math/nnls.h"
+
+namespace juggler::core {
+
+using minispark::AppParams;
+using minispark::Engine;
+using minispark::RunOptions;
+
+StatusOr<TimeModelResult> BuildTimeModel(
+    const AppFactory& factory, const Schedule& schedule,
+    const SizeCalibration& sizes, double memory_factor,
+    const minispark::ClusterConfig& machine_type, const TrainingGrid& grid,
+    const RunOptions& run_options) {
+  if (grid.examples.empty() || grid.features.empty()) {
+    return Status::InvalidArgument("BuildTimeModel: empty training grid");
+  }
+
+  TimeModelResult out{math::LinearModel("unfitted", {}, {}), 0.0, {}};
+  std::vector<math::Observation> observations;
+  RunOptions options = run_options;
+
+  for (double e : grid.examples) {
+    for (double f : grid.features) {
+      const AppParams params{e, f, grid.iterations};
+      auto bytes = PredictScheduleBytes(schedule, sizes, params);
+      if (!bytes.ok()) return bytes.status();
+      const int machines = RecommendMachines(*bytes, machine_type, memory_factor);
+
+      Engine engine(options);
+      auto result = engine.Run(factory(params),
+                               machine_type.WithMachines(machines),
+                               schedule.plan);
+      if (!result.ok()) return result.status();
+      out.training_machine_minutes += result->CostMachineMinutes();
+      out.machines_used.push_back(machines);
+      observations.push_back(
+          math::Observation{params.AsVector(), result->duration_ms});
+      options.seed += 1;
+    }
+  }
+
+  auto model = math::SelectModelByCrossValidation(math::MakeTimeModelFamilies(),
+                                                  observations);
+  if (!model.ok()) return model.status();
+  out.model = std::move(model).value();
+  return out;
+}
+
+double IterationExtension::Rescale(double main_prediction_ms,
+                                   int iterations) const {
+  const double base = a + b * static_cast<double>(base_iterations);
+  if (base <= 0.0) return main_prediction_ms;
+  return main_prediction_ms * (a + b * static_cast<double>(iterations)) / base;
+}
+
+StatusOr<IterationExtension> BuildIterationExtension(
+    const AppFactory& factory, const Schedule& schedule,
+    const SizeCalibration& sizes, double memory_factor,
+    const minispark::ClusterConfig& machine_type,
+    const minispark::AppParams& reference, const std::vector<int>& extra_counts,
+    const RunOptions& run_options) {
+  if (extra_counts.size() < 2) {
+    return Status::InvalidArgument(
+        "BuildIterationExtension: need at least two iteration counts to fit "
+        "a line");
+  }
+  // The iteration count does not influence dataset sizes (§6.1), so the
+  // recommended configuration is fixed across the experiments.
+  auto bytes = PredictScheduleBytes(schedule, sizes, reference);
+  if (!bytes.ok()) return bytes.status();
+  const int machines = RecommendMachines(*bytes, machine_type, memory_factor);
+
+  math::Matrix a(static_cast<int>(extra_counts.size()), 2);
+  std::vector<double> b(extra_counts.size());
+  RunOptions options = run_options;
+  for (size_t i = 0; i < extra_counts.size(); ++i) {
+    minispark::AppParams params = reference;
+    params.iterations = extra_counts[i];
+    minispark::Engine engine(options);
+    auto result = engine.Run(factory(params),
+                             machine_type.WithMachines(machines),
+                             schedule.plan);
+    if (!result.ok()) return result.status();
+    a(static_cast<int>(i), 0) = 1.0;
+    a(static_cast<int>(i), 1) = static_cast<double>(extra_counts[i]);
+    b[i] = result->duration_ms;
+    options.seed += 1;
+  }
+  std::vector<double> theta;
+  JUGGLER_RETURN_IF_ERROR(math::NonNegativeLeastSquares(a, b, &theta));
+
+  IterationExtension ext;
+  ext.a = theta[0];
+  ext.b = theta[1];
+  ext.base_iterations = reference.iterations;
+  return ext;
+}
+
+}  // namespace juggler::core

@@ -1,0 +1,53 @@
+#include "core/machine_adaptation.h"
+
+#include <cmath>
+
+#include "minispark/engine.h"
+
+namespace juggler::core {
+
+StatusOr<MachineTypeAdaptation> AdaptTimeModelToMachineType(
+    const TrainedJuggler& trained, const AppFactory& factory,
+    const minispark::ClusterConfig& new_machine_type,
+    const std::vector<minispark::AppParams>& probe_params,
+    const minispark::RunOptions& run_options) {
+  if (probe_params.empty()) {
+    return Status::InvalidArgument(
+        "AdaptTimeModelToMachineType: need at least one probe experiment");
+  }
+  if (trained.schedules().empty()) {
+    return Status::FailedPrecondition("trained model has no schedules");
+  }
+  const Schedule& schedule = trained.schedules().front();
+  const math::LinearModel& base_model = trained.time_models().front();
+
+  MachineTypeAdaptation out;
+  double log_ratio_sum = 0.0;
+  minispark::RunOptions options = run_options;
+  for (const minispark::AppParams& params : probe_params) {
+    auto bytes = PredictScheduleBytes(schedule, trained.sizes(), params);
+    if (!bytes.ok()) return bytes.status();
+    const int machines = RecommendMachines(*bytes, new_machine_type,
+                                           trained.memory().memory_factor);
+    minispark::Engine engine(options);
+    auto result = engine.Run(factory(params),
+                             new_machine_type.WithMachines(machines),
+                             schedule.plan);
+    if (!result.ok()) return result.status();
+    out.training_machine_minutes += result->CostMachineMinutes();
+    ++out.experiments;
+
+    const double predicted = base_model.Predict(params.AsVector());
+    if (predicted <= 0.0) {
+      return Status::FailedPrecondition(
+          "base time model predicts non-positive time");
+    }
+    // Geometric mean keeps the scale robust to one slow probe.
+    log_ratio_sum += std::log(result->duration_ms / predicted);
+    options.seed += 1;
+  }
+  out.time_scale = std::exp(log_ratio_sum / out.experiments);
+  return out;
+}
+
+}  // namespace juggler::core

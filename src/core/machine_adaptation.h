@@ -1,0 +1,41 @@
+#ifndef JUGGLER_CORE_MACHINE_ADAPTATION_H_
+#define JUGGLER_CORE_MACHINE_ADAPTATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+
+namespace juggler::core {
+
+/// \brief The §6.2 prediction extension: execution-time models are trained
+/// on one machine type and do not transfer as-is. Rather than re-running the
+/// full stage-4 training on every instance family, a handful of probe
+/// experiments on the new type fit a correction on top of the existing
+/// model (the paper points to CherryPick's few-experiments adaptation).
+struct MachineTypeAdaptation {
+  /// Multiplier applied to the base model's predicted time on the new type.
+  double time_scale = 1.0;
+  int experiments = 0;
+  double training_machine_minutes = 0.0;
+
+  double Adapt(double base_prediction_ms) const {
+    return base_prediction_ms * time_scale;
+  }
+};
+
+/// \brief Runs one probe per entry of `probe_params` on the new machine type
+/// (first schedule, recommended machine count for that type) and fits the
+/// time scale as the mean ratio of observed to base-model-predicted time.
+///
+/// The optimization models (schedules, sizes, memory factor) transfer
+/// unchanged; only the time predictions are rescaled.
+StatusOr<MachineTypeAdaptation> AdaptTimeModelToMachineType(
+    const TrainedJuggler& trained, const AppFactory& factory,
+    const minispark::ClusterConfig& new_machine_type,
+    const std::vector<minispark::AppParams>& probe_params,
+    const minispark::RunOptions& run_options);
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_MACHINE_ADAPTATION_H_

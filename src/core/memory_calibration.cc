@@ -1,0 +1,92 @@
+#include "core/memory_calibration.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace juggler::core {
+
+using minispark::AppParams;
+using minispark::ClusterConfig;
+using minispark::Engine;
+using minispark::RunOptions;
+
+StatusOr<MemoryCalibration> CalibrateMemory(
+    const AppFactory& factory, const Schedule& first_schedule,
+    const SizeCalibration& sizes, const ClusterConfig& machine_type,
+    const AppParams& reference, int iterations,
+    const RunOptions& run_options) {
+  const double target_bytes = machine_type.UnifiedMemoryPerMachine();
+  if (target_bytes <= 0.0) {
+    return Status::InvalidArgument("machine type has no unified memory");
+  }
+
+  // Solve for the example count that makes the first schedule's predicted
+  // size equal M, holding the feature count at the reference value. Size
+  // models are monotone in e (non-negative coefficients), so bisection
+  // works.
+  double lo = 1.0;
+  double hi = std::max(reference.examples, 2.0);
+  auto size_at = [&](double e) -> StatusOr<double> {
+    return PredictScheduleBytes(first_schedule, sizes,
+                                AppParams{e, reference.features, iterations});
+  };
+  // Grow hi until the schedule overflows M. Schedules far smaller than M
+  // (tiny cached datasets) would require absurd example counts, so the
+  // search is capped; the calibration run then simply observes no pressure
+  // and the memory factor stays near 1.
+  const double hi_cap = 32.0 * std::max(reference.examples, 2.0);
+  while (hi < hi_cap) {
+    auto s = size_at(hi);
+    if (!s.ok()) return s.status();
+    if (*s >= target_bytes) break;
+    hi = std::min(hi_cap, hi * 2.0);
+  }
+  for (int i = 0; i < 80; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    auto s = size_at(mid);
+    if (!s.ok()) return s.status();
+    if (*s < target_bytes) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const AppParams chosen{std::max(1.0, lo), reference.features, iterations};
+
+  // One run on a single machine of the target type with the schedule
+  // applied (the Juggler engine overrides developer caching). The run is a
+  // controlled experiment: noise and stragglers are disabled so that the
+  // eviction fraction reflects execution-memory pressure only, not
+  // transient straggler evictions (which refit in later iterations, §7.5).
+  RunOptions controlled = run_options;
+  controlled.noise_sigma = 0.0;
+  controlled.straggler_prob = 0.0;
+  Engine engine(controlled);
+  const minispark::Application app = factory(chosen);
+  auto result = engine.Run(app, machine_type.WithMachines(1),
+                           first_schedule.plan);
+  if (!result.ok()) return result.status();
+
+  MemoryCalibration out;
+  out.chosen_params = chosen;
+  out.training_machine_minutes = result->CostMachineMinutes();
+  // Equation 5's memory factor: the share of M left for caching. The paper
+  // reads it off eviction counts; under LRU those rotate across datasets
+  // and over-count, so we read the same quantity from the run's peak
+  // execution footprint (observable in Spark's executor metrics as well).
+  // Bounds are the paper's [0.5, 1].
+  const double unified = machine_type.UnifiedMemoryPerMachine();
+  out.memory_factor =
+      std::clamp(1.0 - result->peak_execution_bytes / unified, 0.5, 1.0);
+  return out;
+}
+
+int RecommendMachines(double schedule_bytes, const ClusterConfig& machine_type,
+                      double memory_factor) {
+  const double per_machine =
+      machine_type.UnifiedMemoryPerMachine() * memory_factor;  // Eq. 5.
+  if (per_machine <= 0.0 || schedule_bytes <= 0.0) return 1;
+  return std::max(1, static_cast<int>(std::ceil(schedule_bytes / per_machine)));
+}
+
+}  // namespace juggler::core

@@ -1,0 +1,44 @@
+#ifndef JUGGLER_CORE_MEMORY_CALIBRATION_H_
+#define JUGGLER_CORE_MEMORY_CALIBRATION_H_
+
+#include "common/status.h"
+#include "core/parameter_calibration.h"
+#include "core/schedule.h"
+#include "minispark/cluster.h"
+#include "minispark/engine.h"
+
+namespace juggler::core {
+
+/// \brief Result of the memory-calibration stage (§5.3).
+struct MemoryCalibration {
+  /// Fraction of the unified region M actually usable for caching
+  /// (Equation 5's memory factor, in [0.5, 1]).
+  double memory_factor = 1.0;
+  double training_machine_minutes = 0.0;
+  /// The parameters chosen so the first schedule's size equals M.
+  minispark::AppParams chosen_params;
+};
+
+/// \brief Stage 3 (§5.3): picks parameters so the first schedule's predicted
+/// size equals the unified memory M of one target-type machine, runs the
+/// application once on a single machine with that schedule, and derives the
+/// memory factor as the ratio of never-evicted partitions to all cached
+/// partitions (clamped to [0.5, 1]).
+///
+/// `reference` supplies the feature count to hold fixed while the example
+/// count is solved for; `iterations` bounds the calibration run's length.
+StatusOr<MemoryCalibration> CalibrateMemory(
+    const AppFactory& factory, const Schedule& first_schedule,
+    const SizeCalibration& sizes, const minispark::ClusterConfig& machine_type,
+    const minispark::AppParams& reference, int iterations,
+    const minispark::RunOptions& run_options);
+
+/// \brief Equations 5-6: the optimal machine count to cache
+/// `schedule_bytes` without eviction on machines of the given type.
+int RecommendMachines(double schedule_bytes,
+                      const minispark::ClusterConfig& machine_type,
+                      double memory_factor);
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_MEMORY_CALIBRATION_H_

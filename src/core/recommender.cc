@@ -1,0 +1,71 @@
+#include "core/recommender.h"
+
+#include <cassert>
+
+#include "common/units.h"
+
+namespace juggler::core {
+
+TrainedJuggler::TrainedJuggler(std::string app_name,
+                               std::vector<Schedule> schedules,
+                               SizeCalibration sizes, MemoryCalibration memory,
+                               std::vector<math::LinearModel> time_models)
+    : app_name_(std::move(app_name)),
+      schedules_(std::move(schedules)),
+      sizes_(std::move(sizes)),
+      memory_(std::move(memory)),
+      time_models_(std::move(time_models)) {
+  assert(schedules_.size() == time_models_.size());
+}
+
+StatusOr<std::vector<Recommendation>> TrainedJuggler::RecommendAll(
+    const minispark::AppParams& params,
+    const minispark::ClusterConfig& machine_type) const {
+  std::vector<Recommendation> out;
+  for (size_t i = 0; i < schedules_.size(); ++i) {
+    const Schedule& schedule = schedules_[i];
+    Recommendation rec;
+    rec.schedule_id = schedule.id;
+    rec.plan = schedule.plan;
+    auto bytes = PredictScheduleBytes(schedule, sizes_, params);
+    if (!bytes.ok()) return bytes.status();
+    rec.predicted_bytes = *bytes;
+    rec.machines =
+        RecommendMachines(*bytes, machine_type, memory_.memory_factor);
+    rec.predicted_time_ms = time_models_[i].Predict(params.AsVector());
+    rec.predicted_cost_machine_min =
+        MachineMinutes(rec.machines, rec.predicted_time_ms);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+StatusOr<std::vector<Recommendation>> TrainedJuggler::Recommend(
+    const minispark::AppParams& params,
+    const minispark::ClusterConfig& machine_type) const {
+  auto all = RecommendAll(params, machine_type);
+  if (!all.ok()) return all.status();
+  // Pareto filter: drop any schedule that another schedule beats (or ties)
+  // on both predicted time and predicted cost, beating it on at least one.
+  std::vector<Recommendation> kept;
+  for (const Recommendation& r : *all) {
+    bool dominated = false;
+    for (const Recommendation& other : *all) {
+      if (other.schedule_id == r.schedule_id) continue;
+      const bool no_worse =
+          other.predicted_time_ms <= r.predicted_time_ms &&
+          other.predicted_cost_machine_min <= r.predicted_cost_machine_min;
+      const bool better =
+          other.predicted_time_ms < r.predicted_time_ms ||
+          other.predicted_cost_machine_min < r.predicted_cost_machine_min;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(r);
+  }
+  return kept;
+}
+
+}  // namespace juggler::core

@@ -1,0 +1,66 @@
+#ifndef JUGGLER_CORE_RECOMMENDER_H_
+#define JUGGLER_CORE_RECOMMENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/exec_time_model.h"
+#include "core/memory_calibration.h"
+#include "core/parameter_calibration.h"
+#include "core/schedule.h"
+
+namespace juggler::core {
+
+/// \brief What the end user receives for one schedule (§5.5): the plan, the
+/// recommended cluster configuration, and the predicted time/cost.
+struct Recommendation {
+  int schedule_id = 0;
+  minispark::CachePlan plan;
+  double predicted_bytes = 0.0;
+  int machines = 0;
+  double predicted_time_ms = 0.0;
+  double predicted_cost_machine_min = 0.0;
+};
+
+/// \brief Everything the offline training produces; the online path (§5.5)
+/// is pure model evaluation — no further experiments.
+class TrainedJuggler {
+ public:
+  TrainedJuggler(std::string app_name, std::vector<Schedule> schedules,
+                 SizeCalibration sizes, MemoryCalibration memory,
+                 std::vector<math::LinearModel> time_models);
+
+  /// The §5.5 pipeline: size estimator -> cluster configuration selector ->
+  /// execution time predictor -> execution cost estimator, then the Pareto
+  /// filter ("Juggler does not offer a schedule if another one is faster and
+  /// cheaper").
+  StatusOr<std::vector<Recommendation>> Recommend(
+      const minispark::AppParams& params,
+      const minispark::ClusterConfig& machine_type) const;
+
+  /// Like Recommend() but without the Pareto filter (used by the evaluation
+  /// benches, which inspect every schedule).
+  StatusOr<std::vector<Recommendation>> RecommendAll(
+      const minispark::AppParams& params,
+      const minispark::ClusterConfig& machine_type) const;
+
+  const std::string& app_name() const { return app_name_; }
+  const std::vector<Schedule>& schedules() const { return schedules_; }
+  const SizeCalibration& sizes() const { return sizes_; }
+  const MemoryCalibration& memory() const { return memory_; }
+  const std::vector<math::LinearModel>& time_models() const {
+    return time_models_;
+  }
+
+ private:
+  std::string app_name_;
+  std::vector<Schedule> schedules_;
+  SizeCalibration sizes_;
+  MemoryCalibration memory_;
+  std::vector<math::LinearModel> time_models_;  ///< Parallel to schedules_.
+};
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_RECOMMENDER_H_

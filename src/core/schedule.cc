@@ -1,0 +1,32 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+
+namespace juggler::core {
+
+double PeakPlanBytes(const minispark::CachePlan& plan,
+                     const std::map<DatasetId, double>& dataset_bytes) {
+  double live = 0.0;
+  double peak = 0.0;
+  std::map<DatasetId, double> resident;
+  auto size_of = [&](DatasetId d) {
+    auto it = dataset_bytes.find(d);
+    return it != dataset_bytes.end() ? it->second : 0.0;
+  };
+  for (const auto& op : plan.ops) {
+    if (op.kind == minispark::CacheOp::Kind::kUnpersist) {
+      if (auto it = resident.find(op.dataset); it != resident.end()) {
+        live -= it->second;
+        resident.erase(it);
+      }
+    } else {
+      const double bytes = size_of(op.dataset);
+      resident[op.dataset] = bytes;
+      live += bytes;
+      peak = std::max(peak, live);
+    }
+  }
+  return peak;
+}
+
+}  // namespace juggler::core

@@ -1,0 +1,40 @@
+#ifndef JUGGLER_CORE_SCHEDULE_H_
+#define JUGGLER_CORE_SCHEDULE_H_
+
+#include <map>
+#include <vector>
+
+#include "minispark/cache_plan.h"
+#include "minispark/types.h"
+
+namespace juggler::core {
+
+using minispark::DatasetId;
+
+/// \brief One caching SCHEDULE produced by hotspot detection (paper §5.1):
+/// an ordered list of datasets to cache, rendered as a persist/unpersist
+/// plan, with its memory budget and saved-computation benefit as observed in
+/// the sample run.
+struct Schedule {
+  int id = 0;  ///< 1-based, in generation order (later = more caching).
+  /// Datasets in selection order (Algorithm 1's SCHEDULE list).
+  std::vector<DatasetId> datasets;
+  /// The executable plan: persists in materialization order, with unpersist
+  /// ops inserted where the §5.1 condition holds.
+  minispark::CachePlan plan;
+  /// Peak cached bytes (the SCHEDULE cost), using sample-run sizes.
+  double memory_bytes = 0.0;
+  /// Computation time saved vs. caching nothing (sample run), ms.
+  double benefit_ms = 0.0;
+};
+
+/// \brief Peak live cached bytes of a plan given per-dataset sizes: walks the
+/// persist ops in order, applying the preceding unpersists, and tracks the
+/// maximum resident total. Shared by hotspot detection (sample-run sizes)
+/// and the online size estimator (predicted sizes).
+double PeakPlanBytes(const minispark::CachePlan& plan,
+                     const std::map<DatasetId, double>& dataset_bytes);
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_SCHEDULE_H_

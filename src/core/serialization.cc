@@ -1,0 +1,214 @@
+#include "core/serialization.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace juggler::core {
+
+namespace {
+
+constexpr const char* kMagic = "juggler-model";
+constexpr int kVersion = 1;
+
+void WriteModel(std::ostream& out, const std::string& tag,
+                const math::LinearModel& model) {
+  out << tag << " " << model.name() << " " << model.coefficients().size();
+  out.precision(17);
+  for (double c : model.coefficients()) out << " " << c;
+  out << "\n";
+}
+
+StatusOr<math::LinearModel> ReadModel(std::istringstream& line) {
+  std::string family;
+  size_t count = 0;
+  if (!(line >> family >> count)) {
+    return Status::InvalidArgument("malformed model line");
+  }
+  std::vector<double> coefficients(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(line >> coefficients[i])) {
+      return Status::InvalidArgument("model line truncated: " + family);
+    }
+  }
+  auto model = math::MakeModelFamilyByName(family);
+  if (!model.ok()) return model.status();
+  JUGGLER_RETURN_IF_ERROR(model->SetCoefficients(std::move(coefficients)));
+  return model;
+}
+
+/// Reads the next non-empty line and checks its first token.
+StatusOr<std::istringstream> NextLine(std::istream& in,
+                                      const std::string& expected_key) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream stream(line);
+    std::string key;
+    stream >> key;
+    if (key != expected_key) {
+      return Status::InvalidArgument("expected '" + expected_key + "', got '" +
+                                     key + "'");
+    }
+    return stream;
+  }
+  return Status::InvalidArgument("unexpected end of input; expected '" +
+                                 expected_key + "'");
+}
+
+}  // namespace
+
+Status SaveTrainedJuggler(const TrainedJuggler& trained, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "app " << trained.app_name() << "\n";
+  out.precision(17);
+  out << "memory_factor " << trained.memory().memory_factor << "\n";
+
+  out << "schedules " << trained.schedules().size() << "\n";
+  for (const Schedule& s : trained.schedules()) {
+    out << "schedule " << s.id << " " << s.memory_bytes << " " << s.benefit_ms
+        << "\n";
+    out << "datasets " << s.datasets.size();
+    for (DatasetId d : s.datasets) out << " " << d;
+    out << "\n";
+    out << "plan " << s.plan.ToString() << "\n";
+  }
+
+  out << "size_models " << trained.sizes().models.size() << "\n";
+  for (const auto& [dataset, model] : trained.sizes().models) {
+    out << "size_model " << dataset << " ";
+    std::ostringstream tmp;
+    WriteModel(tmp, "m", model);
+    out << tmp.str().substr(2);  // Drop the "m " tag.
+  }
+
+  out << "time_models " << trained.time_models().size() << "\n";
+  for (const auto& model : trained.time_models()) {
+    WriteModel(out, "time_model", model);
+  }
+  if (!out) return Status::Internal("write failed");
+  return Status::OK();
+}
+
+StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
+  {
+    auto header = NextLine(in, kMagic);
+    if (!header.ok()) return header.status();
+    int version = 0;
+    if (!(*header >> version) || version != kVersion) {
+      return Status::InvalidArgument("unsupported model version");
+    }
+  }
+  std::string app_name;
+  {
+    auto line = NextLine(in, "app");
+    if (!line.ok()) return line.status();
+    *line >> app_name;
+  }
+  MemoryCalibration memory;
+  {
+    auto line = NextLine(in, "memory_factor");
+    if (!line.ok()) return line.status();
+    if (!(*line >> memory.memory_factor)) {
+      return Status::InvalidArgument("bad memory_factor");
+    }
+  }
+
+  size_t num_schedules = 0;
+  {
+    auto line = NextLine(in, "schedules");
+    if (!line.ok()) return line.status();
+    *line >> num_schedules;
+  }
+  std::vector<Schedule> schedules;
+  for (size_t i = 0; i < num_schedules; ++i) {
+    Schedule s;
+    {
+      auto line = NextLine(in, "schedule");
+      if (!line.ok()) return line.status();
+      if (!(*line >> s.id >> s.memory_bytes >> s.benefit_ms)) {
+        return Status::InvalidArgument("bad schedule line");
+      }
+    }
+    {
+      auto line = NextLine(in, "datasets");
+      if (!line.ok()) return line.status();
+      size_t count = 0;
+      *line >> count;
+      s.datasets.resize(count);
+      for (size_t k = 0; k < count; ++k) {
+        if (!(*line >> s.datasets[k])) {
+          return Status::InvalidArgument("datasets line truncated");
+        }
+      }
+    }
+    {
+      auto line = NextLine(in, "plan");
+      if (!line.ok()) return line.status();
+      std::string rest;
+      std::getline(*line, rest);
+      if (rest == " -" || rest == "-") {
+        s.plan = minispark::CachePlan{};
+      } else {
+        auto plan = minispark::CachePlan::Parse(rest);
+        if (!plan.ok()) return plan.status();
+        s.plan = std::move(plan).value();
+      }
+    }
+    schedules.push_back(std::move(s));
+  }
+
+  SizeCalibration sizes;
+  {
+    auto line = NextLine(in, "size_models");
+    if (!line.ok()) return line.status();
+    size_t count = 0;
+    *line >> count;
+    for (size_t i = 0; i < count; ++i) {
+      auto model_line = NextLine(in, "size_model");
+      if (!model_line.ok()) return model_line.status();
+      DatasetId dataset = minispark::kInvalidDataset;
+      if (!(*model_line >> dataset)) {
+        return Status::InvalidArgument("bad size_model line");
+      }
+      auto model = ReadModel(*model_line);
+      if (!model.ok()) return model.status();
+      sizes.models.emplace(dataset, std::move(model).value());
+    }
+  }
+
+  std::vector<math::LinearModel> time_models;
+  {
+    auto line = NextLine(in, "time_models");
+    if (!line.ok()) return line.status();
+    size_t count = 0;
+    *line >> count;
+    if (count != schedules.size()) {
+      return Status::InvalidArgument(
+          "time model count does not match schedule count");
+    }
+    for (size_t i = 0; i < count; ++i) {
+      auto model_line = NextLine(in, "time_model");
+      if (!model_line.ok()) return model_line.status();
+      auto model = ReadModel(*model_line);
+      if (!model.ok()) return model.status();
+      time_models.push_back(std::move(model).value());
+    }
+  }
+
+  return TrainedJuggler(std::move(app_name), std::move(schedules),
+                        std::move(sizes), memory, std::move(time_models));
+}
+
+std::string TrainedJugglerToString(const TrainedJuggler& trained) {
+  std::ostringstream out;
+  SaveTrainedJuggler(trained, out);
+  return out.str();
+}
+
+StatusOr<TrainedJuggler> TrainedJugglerFromString(const std::string& text) {
+  std::istringstream in(text);
+  return LoadTrainedJuggler(in);
+}
+
+}  // namespace juggler::core

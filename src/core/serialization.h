@@ -1,0 +1,32 @@
+#ifndef JUGGLER_CORE_SERIALIZATION_H_
+#define JUGGLER_CORE_SERIALIZATION_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "core/recommender.h"
+
+namespace juggler::core {
+
+/// \brief Persists an offline-training result so the online path (§5.5) can
+/// run in a different process/session without re-training — the deployment
+/// mode the paper's recurring-application scenario implies.
+///
+/// The format is a versioned, line-oriented text format: schedules with
+/// their plans, the per-dataset size models (family name + coefficients),
+/// the memory factor, and the per-schedule time models.
+Status SaveTrainedJuggler(const TrainedJuggler& trained, std::ostream& out);
+
+/// Loads a model previously written by SaveTrainedJuggler. Fails with
+/// InvalidArgument on malformed input and NotFound on unknown model
+/// families.
+StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in);
+
+/// Convenience round-trip through a string.
+std::string TrainedJugglerToString(const TrainedJuggler& trained);
+StatusOr<TrainedJuggler> TrainedJugglerFromString(const std::string& text);
+
+}  // namespace juggler::core
+
+#endif  // JUGGLER_CORE_SERIALIZATION_H_

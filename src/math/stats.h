@@ -1,0 +1,33 @@
+#ifndef JUGGLER_MATH_STATS_H_
+#define JUGGLER_MATH_STATS_H_
+
+#include <cmath>
+#include <vector>
+
+namespace juggler::math {
+
+/// Arithmetic mean; 0 for empty input.
+inline double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+/// Relative absolute error |pred - actual| / |actual| (0 if actual == 0 and
+/// pred == 0; 1 if only actual == 0).
+inline double RelativeError(double predicted, double actual) {
+  if (actual == 0.0) return predicted == 0.0 ? 0.0 : 1.0;
+  return std::fabs(predicted - actual) / std::fabs(actual);
+}
+
+/// The paper's prediction-accuracy measure: 1 - relative error, clamped to
+/// [0, 1] (an estimate off by more than 2x counts as 0 accuracy).
+inline double PredictionAccuracy(double predicted, double actual) {
+  const double acc = 1.0 - RelativeError(predicted, actual);
+  return acc < 0.0 ? 0.0 : acc;
+}
+
+}  // namespace juggler::math
+
+#endif  // JUGGLER_MATH_STATS_H_

@@ -1,0 +1,34 @@
+#include "minispark/cluster.h"
+
+#include <cstdio>
+
+namespace juggler::minispark {
+
+std::string ClusterConfig::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "cluster{machines=%d cores/machine=%d heap=%s M=%s R=%s}",
+                num_machines, cores_per_machine,
+                FormatBytes(executor_memory_bytes).c_str(),
+                FormatBytes(UnifiedMemoryPerMachine()).c_str(),
+                FormatBytes(MinStoragePerMachine()).c_str());
+  return buf;
+}
+
+ClusterConfig PaperCluster(int machines) {
+  ClusterConfig c;
+  c.num_machines = machines;
+  c.cores_per_machine = 4;
+  c.executor_memory_bytes = GiB(12);
+  return c;
+}
+
+ClusterConfig TrainingNode() {
+  ClusterConfig c;
+  c.num_machines = 1;
+  c.cores_per_machine = 4;
+  c.executor_memory_bytes = GiB(3.8);
+  return c;
+}
+
+}  // namespace juggler::minispark

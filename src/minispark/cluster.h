@@ -1,0 +1,95 @@
+#ifndef JUGGLER_MINISPARK_CLUSTER_H_
+#define JUGGLER_MINISPARK_CLUSTER_H_
+
+#include <string>
+
+#include "common/units.h"
+
+namespace juggler::minispark {
+
+/// \brief Spark's executor memory layout (paper §2.2 / Figure 3).
+///
+/// Given the executor JVM heap, Spark reserves 300 MB, then
+/// `spark.memory.fraction` (default 0.6) of the remainder forms the unified
+/// region M shared by execution and storage. `spark.memory.storageFraction`
+/// (default 0.5) of M is the minimum storage region R below which cached
+/// blocks may not be evicted by execution.
+struct MemoryLayout {
+  double reserved_bytes = MiB(300);
+  double memory_fraction = 0.6;
+  double storage_fraction = 0.5;
+
+  /// Unified memory M for a given executor heap size.
+  double UnifiedMemory(double heap_bytes) const {
+    const double usable = heap_bytes - reserved_bytes;
+    return usable > 0.0 ? usable * memory_fraction : 0.0;
+  }
+  /// Minimum storage region R for a given executor heap size.
+  double MinStorage(double heap_bytes) const {
+    return UnifiedMemory(heap_bytes) * storage_fraction;
+  }
+};
+
+/// \brief A homogeneous cluster and the coefficients of its cost model.
+///
+/// The simulator charges:
+///  - source reads at `disk_bandwidth` (HDFS-local scan),
+///  - cached reads at `cache_bandwidth` (memory scan),
+///  - shuffle writes at `disk_bandwidth`,
+///  - shuffle reads at `network_bandwidth` plus `shuffle_latency_ms` per
+///    machine of all-to-all coordination (this produces the paper's area-B
+///    growth: more machines -> more coordination),
+///  - `task_overhead_ms` per task (driver scheduling/dispatch), and
+///  - `job_serial_ms` per job of serial driver work (Amdahl's serial part).
+struct ClusterConfig {
+  int num_machines = 1;
+  int cores_per_machine = 4;
+  double executor_memory_bytes = GiB(12);
+
+  /// Relative CPU speed of this machine type (1.0 = the paper's i5 nodes);
+  /// all transformation compute costs divide by it.
+  double cpu_speed = 1.0;
+
+  double disk_bandwidth = MiB(100) / 1000.0;     ///< bytes per ms.
+  double network_bandwidth = MiB(110) / 1000.0;  ///< bytes per ms (1 Gbit/s).
+  double cache_bandwidth = MiB(2000) / 1000.0;   ///< bytes per ms.
+
+  double task_overhead_ms = 8.0;
+  double job_serial_ms = 90.0;
+  double shuffle_latency_ms = 35.0;
+
+  MemoryLayout memory_layout;
+
+  /// Unified memory M per executor.
+  double UnifiedMemoryPerMachine() const {
+    return memory_layout.UnifiedMemory(executor_memory_bytes);
+  }
+  /// Minimum storage R per executor.
+  double MinStoragePerMachine() const {
+    return memory_layout.MinStorage(executor_memory_bytes);
+  }
+  /// Total task slots.
+  int TotalCores() const { return num_machines * cores_per_machine; }
+
+  /// Copy of this config with a different machine count (the knob every
+  /// evaluation experiment sweeps).
+  ClusterConfig WithMachines(int machines) const {
+    ClusterConfig c = *this;
+    c.num_machines = machines;
+    return c;
+  }
+
+  std::string ToString() const;
+};
+
+/// The paper's private-cluster node type: 4 cores, 12 GB executor memory,
+/// 1 Gbit/s LAN (§2.2 uses 12 GB => M = 7.02 GB, R = 3.51 GB).
+ClusterConfig PaperCluster(int machines);
+
+/// The paper's single small training node (Intel i3, 3.8 GB RAM) used for the
+/// offline optimization stages.
+ClusterConfig TrainingNode();
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_CLUSTER_H_

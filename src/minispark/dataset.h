@@ -1,0 +1,64 @@
+#ifndef JUGGLER_MINISPARK_DATASET_H_
+#define JUGGLER_MINISPARK_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "minispark/types.h"
+
+namespace juggler::minispark {
+
+/// \brief How a dataset is produced from its parents (paper §2.1).
+enum class TransformKind {
+  /// Root dataset read from stable storage (HDFS). Computing a partition
+  /// costs a disk scan of its bytes.
+  kSource,
+  /// Narrow transformation (map, filter, ...): partition i depends only on
+  /// partition i of each parent; pipelined within a stage.
+  kNarrow,
+  /// Wide transformation (reduceByKey, treeAggregate shuffles, ...): requires
+  /// a shuffle; cuts a stage boundary. Modelled as a Shuffle Write in the
+  /// parent stage plus a Shuffle Read in the child stage (paper §3.3).
+  kWide,
+};
+
+/// \brief A logical dataset (Spark RDD) with the concrete cost-model values
+/// for one application instantiation (fixed examples/features/iterations).
+///
+/// Workload factories evaluate their size/compute models at construction
+/// time, so the engine deals only in concrete numbers. Parents must have
+/// smaller ids than children (enforced by Validate), which makes every
+/// application DAG acyclic by construction.
+struct Dataset {
+  DatasetId id = kInvalidDataset;
+  std::string name;
+  TransformKind kind = TransformKind::kNarrow;
+  std::vector<DatasetId> parents;
+
+  /// Total materialized size of the dataset (all partitions), bytes.
+  double bytes = 0.0;
+  /// Number of partitions (== number of tasks in the stage computing it).
+  int num_partitions = 1;
+  /// Total CPU cost to compute all partitions from parent outputs, excluding
+  /// parent computation, I/O and shuffle (ms). Split evenly over partitions.
+  double compute_ms = 0.0;
+  /// Execution-memory reservation per running task while this dataset's
+  /// transformation executes (bytes) — aggregation buffers and the like.
+  double exec_memory_per_task_bytes = 0.0;
+
+  double PartitionBytes() const { return bytes / num_partitions; }
+  double PartitionComputeMs() const { return compute_ms / num_partitions; }
+};
+
+/// \brief A Spark action: triggers one job that materializes `target` and
+/// returns `result_bytes` to the driver.
+struct Job {
+  std::string name;
+  DatasetId target = kInvalidDataset;
+  /// Bytes each task returns to the driver (collect/aggregate results).
+  double result_bytes = 0.0;
+};
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_DATASET_H_

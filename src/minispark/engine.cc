@@ -1,0 +1,486 @@
+#include "minispark/engine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/random.h"
+#include "minispark/memory_manager.h"
+
+namespace juggler::minispark {
+
+double RunResult::FractionPartitionsResident() const {
+  int64_t cached = 0;
+  int64_t resident = 0;
+  for (const auto& [id, stats] : dataset_stats) {
+    if (!stats.persisted_at_end) continue;
+    cached += stats.distinct_cached;
+    resident += stats.resident_at_end;
+  }
+  if (cached == 0) return 1.0;
+  const double frac =
+      static_cast<double>(resident) / static_cast<double>(cached);
+  return frac > 1.0 ? 1.0 : frac;
+}
+
+double RunResult::FractionPartitionsNeverEvicted() const {
+  int64_t cached = 0;
+  int64_t evicted = 0;
+  for (const auto& [id, stats] : dataset_stats) {
+    cached += stats.distinct_cached;
+    evicted += stats.distinct_evicted;
+  }
+  if (cached == 0) return 1.0;
+  const double frac = 1.0 - static_cast<double>(evicted) / static_cast<double>(cached);
+  return frac < 0.0 ? 0.0 : frac;
+}
+
+namespace {
+
+/// A physical stage: the unit Spark schedules. Tasks of a stage compute
+/// partitions of `terminal`, pipelining all narrow transformations in
+/// `members` (deepest-first), starting from either source data, shuffle
+/// output of `parent_stage_terminals`, or cached blocks.
+struct Stage {
+  DatasetId terminal = kInvalidDataset;
+  /// Datasets evaluated within this stage (narrow chain plus the wide
+  /// chain-start, if any), in no particular order.
+  std::vector<DatasetId> members;
+  /// Terminals of stages that must run before this one (wide parents).
+  std::vector<DatasetId> parent_stage_terminals;
+  /// Shuffle-write work this stage performs for wide children, as
+  /// (wide child id, bytes written per task).
+  std::vector<std::pair<DatasetId, double>> shuffle_writes;
+};
+
+/// One cost piece of a task, in evaluation order. Pieces become profiling
+/// records when instrumenting.
+struct Piece {
+  DatasetId dataset = kInvalidDataset;
+  TransformPart part = TransformPart::kMain;
+  double ms = 0.0;
+  double bytes = 0.0;       ///< Produced partition size.
+  bool from_cache = false;
+};
+
+struct MachineState {
+  explicit MachineState(const ClusterConfig& cluster)
+      : mem(cluster.UnifiedMemoryPerMachine(), cluster.MinStoragePerMachine()),
+        core_free_ms(static_cast<size_t>(cluster.cores_per_machine), 0.0) {}
+
+  UnifiedMemoryManager mem;
+  std::vector<double> core_free_ms;
+};
+
+/// Whole-run mutable state threaded through job/stage execution.
+class RunState {
+ public:
+  RunState(const Application& app, const ClusterConfig& cluster,
+           const CachePlan& plan, const RunOptions& options)
+      : app_(app),
+        cluster_(cluster),
+        plan_(plan),
+        options_(options),
+        rng_(options.seed),
+        ever_stored_(static_cast<size_t>(app.num_datasets())),
+        materialized_(static_cast<size_t>(app.num_datasets()), false),
+        persisted_(static_cast<size_t>(app.num_datasets()), false),
+        drop_with_(static_cast<size_t>(app.num_datasets())) {
+    for (DatasetId d : plan.PersistedDatasets()) {
+      persisted_[static_cast<size_t>(d)] = true;
+      drop_with_[static_cast<size_t>(d)] = plan.UnpersistBefore(d);
+    }
+    machines_.reserve(static_cast<size_t>(cluster.num_machines));
+    for (int m = 0; m < cluster.num_machines; ++m) {
+      machines_.emplace_back(cluster);
+    }
+    if (options.instrument) {
+      profile_ = std::make_shared<ProfilingDb>();
+      profile_->SetClusterShape(cluster.num_machines, cluster.cores_per_machine);
+      for (const Dataset& d : app.datasets) {
+        profile_->AddDataset(
+            DatasetRecord{d.id, d.name, d.kind, d.parents, d.num_partitions});
+      }
+    }
+  }
+
+  void ExecuteAll();
+  RunResult Finish();
+
+ private:
+  void ExecuteJob(int job_index);
+  void BuildStages(DatasetId target, std::vector<Stage>* stages);
+  double ExecuteStage(const Stage& stage, int job_index, double start_ms);
+
+  /// Recursively resolves the cost of obtaining partition `partition` of
+  /// dataset `d` on machine `m`, appending cost pieces in evaluation order.
+  void ResolveChain(DatasetId d, int partition, MachineState& machine,
+                    std::vector<Piece>* pieces);
+
+  bool FullyCached(DatasetId d) const {
+    int blocks = 0;
+    for (const auto& m : machines_) blocks += m.mem.NumBlocksOf(d);
+    return blocks >= app_.dataset(d).num_partitions;
+  }
+
+  int MachineFor(int partition) const {
+    return partition % cluster_.num_machines;
+  }
+
+  const Application& app_;
+  const ClusterConfig& cluster_;
+  const CachePlan& plan_;
+  const RunOptions& options_;
+  Rng rng_;
+
+  std::vector<MachineState> machines_;
+  /// ever_stored_[d] holds partition indices of d that were cached at some
+  /// point (distinguishes first materialization from eviction recompute).
+  std::vector<std::set<int>> ever_stored_;
+  std::vector<bool> materialized_;
+  /// Dynamic persist state: true while p(d) is in effect; cleared when a
+  /// u(d) op triggers (an unpersisted dataset is never re-stored).
+  std::vector<bool> persisted_;
+  /// drop_with_[y]: datasets to unpersist while y first materializes.
+  std::vector<std::vector<DatasetId>> drop_with_;
+
+  double now_ms_ = 0.0;
+  int next_stage_id_ = 0;
+
+  // Aggregated stats.
+  std::map<DatasetId, DatasetCacheStats> stats_;
+  int64_t hits_ = 0;
+  int64_t recomputes_ = 0;
+
+  std::shared_ptr<ProfilingDb> profile_;
+};
+
+void RunState::BuildStages(DatasetId target, std::vector<Stage>* stages) {
+  std::map<DatasetId, int> stage_of_terminal;
+
+  std::function<int(DatasetId)> create = [&](DatasetId root) -> int {
+    if (auto it = stage_of_terminal.find(root); it != stage_of_terminal.end()) {
+      return it->second;
+    }
+    const int index = static_cast<int>(stages->size());
+    stages->push_back(Stage{});
+    stage_of_terminal[root] = index;
+    (*stages)[static_cast<size_t>(index)].terminal = root;
+
+    std::vector<DatasetId> stack = {root};
+    std::set<DatasetId> visited = {root};
+    while (!stack.empty()) {
+      const DatasetId id = stack.back();
+      stack.pop_back();
+      (*stages)[static_cast<size_t>(index)].members.push_back(id);
+      const Dataset& ds = app_.dataset(id);
+      if (ds.kind == TransformKind::kWide) {
+        // The wide dataset reads shuffle output; its parents terminate
+        // parent stages. If the wide dataset is fully cached, Spark skips
+        // the parent stages entirely.
+        if (plan_.IsPersisted(id) && FullyCached(id)) continue;
+        for (DatasetId p : ds.parents) {
+          const int parent_index = create(p);
+          Stage& self = (*stages)[static_cast<size_t>(index)];
+          self.parent_stage_terminals.push_back(
+              (*stages)[static_cast<size_t>(parent_index)].terminal);
+          // Parent stage writes this wide child's shuffle input.
+          (*stages)[static_cast<size_t>(parent_index)].shuffle_writes.push_back(
+              {id, app_.dataset(p).PartitionBytes()});
+        }
+      } else {
+        for (DatasetId p : ds.parents) {
+          if (visited.insert(p).second) stack.push_back(p);
+        }
+      }
+    }
+    return index;
+  };
+
+  create(target);
+}
+
+void RunState::ResolveChain(DatasetId d, int partition, MachineState& machine,
+                            std::vector<Piece>* pieces) {
+  const Dataset& ds = app_.dataset(d);
+  const BlockId bid{d, partition};
+  const bool persisted = persisted_[static_cast<size_t>(d)];
+
+  if (persisted && machine.mem.TouchBlock(bid)) {
+    ++hits_;
+    ++stats_[d].hits;
+    pieces->push_back(Piece{d, TransformPart::kMain,
+                            ds.PartitionBytes() / cluster_.cache_bandwidth,
+                            ds.PartitionBytes(), true});
+    return;
+  }
+
+  switch (ds.kind) {
+    case TransformKind::kSource:
+      pieces->push_back(Piece{d, TransformPart::kMain,
+                              ds.PartitionBytes() / cluster_.disk_bandwidth,
+                              ds.PartitionBytes(), false});
+      break;
+    case TransformKind::kWide: {
+      double in_bytes = 0.0;
+      for (DatasetId p : ds.parents) in_bytes += app_.dataset(p).bytes;
+      in_bytes /= ds.num_partitions;
+      const double ms = in_bytes / cluster_.network_bandwidth +
+                        ds.PartitionComputeMs() / cluster_.cpu_speed;
+      pieces->push_back(Piece{d, TransformPart::kShuffleRead, ms,
+                              ds.PartitionBytes(), false});
+      break;
+    }
+    case TransformKind::kNarrow: {
+      for (DatasetId p : ds.parents) ResolveChain(p, partition, machine, pieces);
+      pieces->push_back(Piece{d, TransformPart::kMain,
+                              ds.PartitionComputeMs() / cluster_.cpu_speed,
+                              ds.PartitionBytes(), false});
+      break;
+    }
+  }
+
+  if (persisted) {
+    auto& stored_set = ever_stored_[static_cast<size_t>(d)];
+    const bool was_cached_before = stored_set.count(partition) > 0;
+    if (was_cached_before) {
+      // This partition had been cached and was evicted: the read is a
+      // recomputation (paper §1's 97x-slower case).
+      ++recomputes_;
+      ++stats_[d].recomputes;
+    }
+    if (machine.mem.StoreBlock(bid, ds.PartitionBytes())) {
+      ++stats_[d].stored;
+    }
+    if (!was_cached_before) {
+      stored_set.insert(partition);
+      ++stats_[d].distinct_cached;
+    }
+    // Block-wise unpersist: as this dataset's partitions materialize, the
+    // corresponding partitions of the datasets scheduled for u() before it
+    // are dropped, so the two never fully coexist (the §5.1 cost is
+    // max(sizes), not their sum).
+    for (DatasetId drop : drop_with_[static_cast<size_t>(d)]) {
+      machine.mem.DropBlock(BlockId{drop, partition});
+    }
+  }
+}
+
+double RunState::ExecuteStage(const Stage& stage, int job_index,
+                              double start_ms) {
+  const Dataset& terminal = app_.dataset(stage.terminal);
+  const int num_tasks = terminal.num_partitions;
+  const int stage_id = next_stage_id_++;
+
+  // Unpersist triggers: when a persisted dataset first materializes in this
+  // stage, the datasets scheduled for u() before it stop being persisted
+  // (no re-stores) and their blocks are dropped partition-by-partition as
+  // the successor's blocks land (see ResolveChain); any leftovers are
+  // cleaned up after the stage.
+  std::vector<DatasetId> cleanup;
+  for (DatasetId member : stage.members) {
+    if (!persisted_[static_cast<size_t>(member)]) continue;
+    if (materialized_[static_cast<size_t>(member)]) continue;
+    materialized_[static_cast<size_t>(member)] = true;
+    for (DatasetId drop : drop_with_[static_cast<size_t>(member)]) {
+      persisted_[static_cast<size_t>(drop)] = false;
+      cleanup.push_back(drop);
+    }
+  }
+
+  // Execution-memory pressure: each concurrently running task reserves the
+  // pipeline's peak requirement for the whole stage.
+  double exec_per_task = 0.0;
+  for (DatasetId member : stage.members) {
+    exec_per_task = std::max(
+        exec_per_task, app_.dataset(member).exec_memory_per_task_bytes);
+  }
+  std::vector<double> granted(machines_.size(), 0.0);
+  std::vector<double> spill_factor(machines_.size(), 1.0);
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    const double want =
+        exec_per_task * static_cast<double>(cluster_.cores_per_machine);
+    if (want <= 0.0) continue;
+    granted[m] = machines_[m].mem.AcquireExecution(want);
+    const double shortfall = (want - granted[m]) / want;
+    spill_factor[m] = 1.0 + options_.spill_compute_penalty * shortfall;
+  }
+
+  for (auto& m : machines_) {
+    std::fill(m.core_free_ms.begin(), m.core_free_ms.end(), start_ms);
+  }
+
+  if (profile_) {
+    profile_->AddStage(StageRecord{job_index, stage_id, stage.terminal, num_tasks});
+  }
+
+  for (int t = 0; t < num_tasks; ++t) {
+    MachineState& machine = machines_[static_cast<size_t>(MachineFor(t))];
+
+    std::vector<Piece> pieces;
+    ResolveChain(stage.terminal, t, machine, &pieces);
+    for (const auto& [wide_child, bytes] : stage.shuffle_writes) {
+      pieces.push_back(Piece{wide_child, TransformPart::kShuffleWrite,
+                             bytes / cluster_.disk_bandwidth, 0.0, false});
+    }
+
+    double work_ms = 0.0;
+    for (const Piece& piece : pieces) work_ms += piece.ms;
+
+    double scale = spill_factor[static_cast<size_t>(MachineFor(t))];
+    if (options_.noise_sigma > 0.0) scale *= rng_.Jitter(options_.noise_sigma);
+    if (options_.straggler_prob > 0.0 &&
+        rng_.Bernoulli(options_.straggler_prob)) {
+      scale *= options_.straggler_factor;
+    }
+    if (options_.instrument) scale *= 1.0 + options_.instrumentation_overhead;
+
+    // Earliest-free core on the task's machine.
+    auto core = std::min_element(machine.core_free_ms.begin(),
+                                 machine.core_free_ms.end());
+    const double task_start = *core;
+    double cursor = task_start + cluster_.task_overhead_ms;
+    if (profile_) {
+      for (const Piece& piece : pieces) {
+        const double dur = piece.ms * scale;
+        profile_->AddTransform(TransformRecord{job_index, stage_id, t,
+                                               piece.dataset, piece.part,
+                                               cursor, cursor + dur,
+                                               piece.bytes, piece.from_cache});
+        cursor += dur;
+      }
+    } else {
+      cursor += work_ms * scale;
+    }
+    const double task_finish = cursor;
+    if (profile_) {
+      profile_->AddTask(TaskRecord{job_index, stage_id, t, MachineFor(t),
+                                   task_start, task_finish});
+    }
+    *core = task_finish;
+  }
+
+  double end_ms = start_ms;
+  for (const auto& m : machines_) {
+    for (double core : m.core_free_ms) end_ms = std::max(end_ms, core);
+  }
+
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    if (granted[m] > 0.0) machines_[m].mem.ReleaseExecution(granted[m]);
+  }
+  for (DatasetId drop : cleanup) {
+    for (auto& m : machines_) m.mem.DropDataset(drop);
+  }
+
+  // Stage launch latency plus all-to-all shuffle coordination that grows
+  // with the cluster size (the paper's area-B overhead).
+  end_ms += 5.0;
+  if (!stage.parent_stage_terminals.empty()) {
+    end_ms += cluster_.shuffle_latency_ms * cluster_.num_machines;
+  }
+  return end_ms;
+}
+
+void RunState::ExecuteJob(int job_index) {
+  const Job& job = app_.jobs[static_cast<size_t>(job_index)];
+  const double job_start = now_ms_;
+
+  std::vector<Stage> stages;
+  BuildStages(job.target, &stages);
+
+  // Topological order: parents before children. Stage creation pushes a
+  // child before its parents, so execute in dependency order via DFS.
+  std::vector<int> order;
+  std::vector<char> state(stages.size(), 0);  // 0=unseen 1=visiting 2=done
+  std::map<DatasetId, int> by_terminal;
+  for (size_t i = 0; i < stages.size(); ++i) by_terminal[stages[i].terminal] = static_cast<int>(i);
+  std::function<void(int)> visit = [&](int s) {
+    if (state[static_cast<size_t>(s)]) return;
+    state[static_cast<size_t>(s)] = 1;
+    for (DatasetId pt : stages[static_cast<size_t>(s)].parent_stage_terminals) {
+      visit(by_terminal.at(pt));
+    }
+    state[static_cast<size_t>(s)] = 2;
+    order.push_back(s);
+  };
+  visit(0);
+
+  for (int s : order) {
+    now_ms_ = ExecuteStage(stages[static_cast<size_t>(s)], job_index, now_ms_);
+  }
+
+  // Serial driver work + result transfer back to the driver.
+  now_ms_ += cluster_.job_serial_ms;
+  now_ms_ += job.result_bytes / cluster_.network_bandwidth;
+
+  if (profile_) {
+    profile_->AddJob(JobRecord{job_index, job.name, job.target, job_start, now_ms_});
+  }
+}
+
+void RunState::ExecuteAll() {
+  for (int j = 0; j < static_cast<int>(app_.jobs.size()); ++j) ExecuteJob(j);
+}
+
+RunResult RunState::Finish() {
+  RunResult result;
+  result.app_name = app_.name;
+  result.machines = cluster_.num_machines;
+  result.duration_ms = now_ms_;
+  result.cache_hits = hits_;
+  result.cache_recomputes = recomputes_;
+
+  // Distinct evictions per dataset, collected from every machine's memory
+  // manager (evictions and rejections both count: the partition is not in
+  // memory when next needed).
+  std::map<DatasetId, std::set<int>> evicted;
+  for (const auto& m : machines_) {
+    result.blocks_evicted += m.mem.blocks_evicted();
+    result.store_rejections += m.mem.store_rejections();
+    result.peak_execution_bytes =
+        std::max(result.peak_execution_bytes, m.mem.peak_execution_used());
+    for (const BlockId& b : m.mem.evicted_blocks()) {
+      evicted[b.dataset].insert(b.partition);
+    }
+  }
+  for (auto& [dataset, partitions] : evicted) {
+    stats_[dataset].distinct_evicted =
+        static_cast<int64_t>(partitions.size());
+  }
+  for (int d = 0; d < app_.num_datasets(); ++d) {
+    if (!persisted_[static_cast<size_t>(d)]) continue;
+    auto it = stats_.find(d);
+    if (it == stats_.end()) continue;
+    it->second.persisted_at_end = true;
+    for (const auto& m : machines_) {
+      it->second.resident_at_end += m.mem.NumBlocksOf(d);
+    }
+  }
+  result.dataset_stats = std::move(stats_);
+  result.profile = std::move(profile_);
+  return result;
+}
+
+}  // namespace
+
+StatusOr<RunResult> Engine::Run(const Application& app,
+                                const ClusterConfig& cluster,
+                                const CachePlan& plan) const {
+  JUGGLER_RETURN_IF_ERROR(Validate(app));
+  if (cluster.num_machines <= 0 || cluster.cores_per_machine <= 0) {
+    return Status::InvalidArgument("cluster must have machines and cores");
+  }
+  for (const CacheOp& op : plan.ops) {
+    if (op.dataset < 0 || op.dataset >= app.num_datasets()) {
+      return Status::InvalidArgument("cache plan references unknown dataset " +
+                                     std::to_string(op.dataset));
+    }
+  }
+  RunState state(app, cluster, plan, options_);
+  state.ExecuteAll();
+  return state.Finish();
+}
+
+}  // namespace juggler::minispark

@@ -1,0 +1,113 @@
+#ifndef JUGGLER_MINISPARK_ENGINE_H_
+#define JUGGLER_MINISPARK_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "minispark/application.h"
+#include "minispark/cluster.h"
+#include "minispark/profiling.h"
+
+namespace juggler::minispark {
+
+/// \brief Knobs for one simulated run.
+struct RunOptions {
+  /// Collect Spark_i-style low-level runtime data into RunResult::profile.
+  /// Adds `instrumentation_overhead` to every task (profiling
+  /// transformations are lightweight but not free, §4).
+  bool instrument = false;
+  uint64_t seed = 42;
+  /// Multiplicative lognormal jitter applied to each task (sigma). 0 makes
+  /// runs fully deterministic.
+  double noise_sigma = 0.02;
+  /// Straggler injection: probability and slowdown factor per task.
+  double straggler_prob = 0.01;
+  double straggler_factor = 2.5;
+  /// Compute-cost multiplier at full execution-memory shortfall (models
+  /// spilling when execution memory cannot be granted).
+  double spill_compute_penalty = 1.0;
+  double instrumentation_overhead = 0.03;
+};
+
+/// \brief Per-dataset cache behaviour over a run.
+struct DatasetCacheStats {
+  int64_t hits = 0;        ///< Partition reads served from cache.
+  int64_t recomputes = 0;  ///< Reads of previously-cached-but-evicted partitions.
+  int64_t stored = 0;      ///< Successful block stores (incl. re-stores).
+  int64_t distinct_cached = 0;   ///< Distinct partitions ever cached (or attempted).
+  int64_t distinct_evicted = 0;  ///< Distinct partitions ever evicted/rejected.
+  int64_t resident_at_end = 0;   ///< Blocks still in memory when the app ended.
+  bool persisted_at_end = false; ///< False once a u() op dropped the dataset.
+};
+
+/// \brief Outcome of one simulated application run.
+struct RunResult {
+  std::string app_name;
+  int machines = 0;
+  double duration_ms = 0.0;
+
+  int64_t cache_hits = 0;
+  int64_t cache_recomputes = 0;
+  int64_t blocks_evicted = 0;
+  int64_t store_rejections = 0;
+  /// Largest execution-memory footprint any executor reached (bytes).
+  double peak_execution_bytes = 0.0;
+
+  std::map<DatasetId, DatasetCacheStats> dataset_stats;
+
+  /// Low-level runtime data; only set for instrumented runs.
+  std::shared_ptr<ProfilingDb> profile;
+
+  /// The paper's cost unit: #machines x time, in machine-minutes.
+  double CostMachineMinutes() const {
+    return MachineMinutes(machines, duration_ms);
+  }
+
+  /// Ratio of never-evicted distinct partitions to all distinct partitions
+  /// of persisted datasets — the §5.3 measurement behind the memory factor.
+  /// Returns 1.0 when nothing was persisted.
+  double FractionPartitionsNeverEvicted() const;
+
+  /// Steady-state variant: the fraction of partitions of still-persisted
+  /// datasets resident in memory at the end of the run. Robust against
+  /// transient straggler-induced evictions that refit in later iterations
+  /// (paper §7.5). Returns 1.0 when nothing is persisted at the end.
+  double FractionPartitionsResident() const;
+};
+
+/// \brief The simulated in-memory processing framework ("MiniSpark").
+///
+/// Plays both Spark roles the paper needs:
+///  - Spark_i: with RunOptions::instrument set, collects per-transformation
+///    timestamps and partition sizes into a profiling database;
+///  - Juggler engine: Run() takes an explicit CachePlan that *overrides* the
+///    application's developer-cached datasets (§5.3 — "a modified version of
+///    Spark that overwrites the developer-cached datasets with the
+///    recommended schedule").
+class Engine {
+ public:
+  explicit Engine(RunOptions options = RunOptions{}) : options_(options) {}
+
+  /// Runs `app` on `cluster` with caching decisions from `plan`.
+  StatusOr<RunResult> Run(const Application& app, const ClusterConfig& cluster,
+                          const CachePlan& plan) const;
+
+  /// Runs with the application's developer default schedule.
+  StatusOr<RunResult> RunDefault(const Application& app,
+                                 const ClusterConfig& cluster) const {
+    return Run(app, cluster, app.default_plan);
+  }
+
+  const RunOptions& options() const { return options_; }
+
+ private:
+  RunOptions options_;
+};
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_ENGINE_H_

@@ -1,0 +1,117 @@
+#include "minispark/memory_manager.h"
+
+#include <algorithm>
+
+namespace juggler::minispark {
+
+UnifiedMemoryManager::UnifiedMemoryManager(double unified_bytes,
+                                           double min_storage_bytes)
+    : unified_(unified_bytes), min_storage_(min_storage_bytes) {}
+
+double UnifiedMemoryManager::AcquireExecution(double bytes) {
+  if (bytes <= 0.0) return 0.0;
+  double free = unified_ - execution_used_ - storage_used_;
+  if (free < bytes) {
+    // Execution may reclaim cached blocks, but storage is guaranteed R.
+    EvictFor(bytes - free, kInvalidDataset, min_storage_);
+    free = unified_ - execution_used_ - storage_used_;
+  }
+  const double granted = std::max(0.0, std::min(bytes, free));
+  execution_used_ += granted;
+  peak_execution_used_ = std::max(peak_execution_used_, execution_used_);
+  return granted;
+}
+
+void UnifiedMemoryManager::ReleaseExecution(double bytes) {
+  execution_used_ = std::max(0.0, execution_used_ - bytes);
+}
+
+bool UnifiedMemoryManager::StoreBlock(BlockId id, double bytes) {
+  if (auto it = index_.find(id); it != index_.end()) {
+    // Already cached; treat as a touch.
+    lru_.splice(lru_.end(), lru_, it->second);
+    return true;
+  }
+  const double cap = unified_ - execution_used_;
+  if (bytes > cap) {
+    ++store_rejections_;
+    evicted_blocks_.push_back(id);
+    return false;
+  }
+  if (storage_used_ + bytes > cap) {
+    // Storage-triggered eviction may go below R (R only guards against
+    // *execution* reclaiming storage) but never evicts the same dataset.
+    if (!EvictFor(storage_used_ + bytes - cap, id.dataset, 0.0)) {
+      ++store_rejections_;
+      evicted_blocks_.push_back(id);
+      return false;
+    }
+  }
+  lru_.push_back(Block{id, bytes});
+  index_[id] = std::prev(lru_.end());
+  storage_used_ += bytes;
+  ++blocks_stored_;
+  return true;
+}
+
+bool UnifiedMemoryManager::TouchBlock(BlockId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.end(), lru_, it->second);
+  return true;
+}
+
+bool UnifiedMemoryManager::HasBlock(BlockId id) const {
+  return index_.count(id) > 0;
+}
+
+void UnifiedMemoryManager::DropDataset(DatasetId dataset) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->id.dataset == dataset) {
+      storage_used_ -= it->bytes;
+      index_.erase(it->id);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  storage_used_ = std::max(0.0, storage_used_);
+}
+
+void UnifiedMemoryManager::DropBlock(BlockId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  storage_used_ = std::max(0.0, storage_used_ - it->second->bytes);
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+int UnifiedMemoryManager::NumBlocksOf(DatasetId dataset) const {
+  int n = 0;
+  for (const auto& [id, _] : index_) {
+    if (id.dataset == dataset) ++n;
+  }
+  return n;
+}
+
+bool UnifiedMemoryManager::EvictFor(double bytes, DatasetId protect,
+                                    double floor) {
+  double freed = 0.0;
+  auto it = lru_.begin();
+  while (it != lru_.end() && freed < bytes && storage_used_ > floor) {
+    if (it->id.dataset == protect) {
+      ++it;
+      continue;
+    }
+    freed += it->bytes;
+    storage_used_ -= it->bytes;
+    ++blocks_evicted_;
+    evicted_blocks_.push_back(it->id);
+    index_.erase(it->id);
+    it = lru_.erase(it);
+  }
+  storage_used_ = std::max(0.0, storage_used_);
+  return freed >= bytes;
+}
+
+}  // namespace juggler::minispark

@@ -1,0 +1,112 @@
+#ifndef JUGGLER_MINISPARK_PROFILING_H_
+#define JUGGLER_MINISPARK_PROFILING_H_
+
+#include <string>
+#include <vector>
+
+#include "minispark/dataset.h"
+#include "minispark/types.h"
+
+namespace juggler::minispark {
+
+/// \brief Which physical piece of a transformation a record covers.
+///
+/// A wide transformation is profiled as a pair (paper Eq. 3): the Shuffle
+/// Write part runs as the last transformation of the parent stage, the
+/// Shuffle Read part (including the aggregation compute) as the first
+/// transformation of the child stage. Narrow transformations have one kMain
+/// record per task.
+enum class TransformPart { kMain, kShuffleWrite, kShuffleRead };
+
+/// \brief One profiling-transformation sample: what Spark_i's injected
+/// mapPartitionsWithIndex records for one transformation in one task (§4).
+struct TransformRecord {
+  int job = 0;
+  int stage = 0;       ///< Stage index, unique across the whole run.
+  int task_index = 0;  ///< == partition index of the stage's terminal dataset.
+  DatasetId dataset = kInvalidDataset;
+  TransformPart part = TransformPart::kMain;
+  double start_ms = 0.0;   ///< Absolute simulated time.
+  double finish_ms = 0.0;  ///< Absolute simulated time.
+  /// Size of the produced data partition (0 for shuffle-write parts).
+  double partition_bytes = 0.0;
+  /// True if this occurrence was served from the cache rather than computed.
+  bool from_cache = false;
+};
+
+/// \brief Task-level runtime data (Spark exposes these natively [5]).
+struct TaskRecord {
+  int job = 0;
+  int stage = 0;
+  int task_index = 0;
+  int machine = 0;
+  double start_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+/// \brief Stage-level runtime data.
+struct StageRecord {
+  int job = 0;
+  int stage = 0;
+  DatasetId terminal = kInvalidDataset;
+  int num_tasks = 0;
+};
+
+/// \brief Job-level runtime data.
+struct JobRecord {
+  int job = 0;
+  std::string name;
+  DatasetId target = kInvalidDataset;
+  double start_ms = 0.0;
+  double finish_ms = 0.0;
+};
+
+/// \brief Static dataset facts copied into the profile so that consumers
+/// (Juggler) never need the Application object: the dependency DAG is part
+/// of the collected runtime data.
+struct DatasetRecord {
+  DatasetId id = kInvalidDataset;
+  std::string name;
+  TransformKind kind = TransformKind::kNarrow;
+  std::vector<DatasetId> parents;
+  int num_partitions = 0;
+};
+
+/// \brief The central profiling database Spark_i reports into (§4). Purely
+/// in-memory; owned by the RunResult of an instrumented run.
+class ProfilingDb {
+ public:
+  void AddTransform(TransformRecord r) { transforms_.push_back(std::move(r)); }
+  void AddTask(TaskRecord r) { tasks_.push_back(std::move(r)); }
+  void AddStage(StageRecord r) { stages_.push_back(std::move(r)); }
+  void AddJob(JobRecord r) { jobs_.push_back(std::move(r)); }
+  void AddDataset(DatasetRecord r) { datasets_.push_back(std::move(r)); }
+
+  void SetClusterShape(int machines, int cores_per_machine) {
+    machines_ = machines;
+    cores_per_machine_ = cores_per_machine;
+  }
+
+  const std::vector<TransformRecord>& transforms() const { return transforms_; }
+  const std::vector<TaskRecord>& tasks() const { return tasks_; }
+  const std::vector<StageRecord>& stages() const { return stages_; }
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+  const std::vector<DatasetRecord>& datasets() const { return datasets_; }
+
+  int machines() const { return machines_; }
+  int cores_per_machine() const { return cores_per_machine_; }
+  int total_cores() const { return machines_ * cores_per_machine_; }
+
+ private:
+  std::vector<TransformRecord> transforms_;
+  std::vector<TaskRecord> tasks_;
+  std::vector<StageRecord> stages_;
+  std::vector<JobRecord> jobs_;
+  std::vector<DatasetRecord> datasets_;
+  int machines_ = 1;
+  int cores_per_machine_ = 1;
+};
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_PROFILING_H_

@@ -1,0 +1,30 @@
+#ifndef JUGGLER_MINISPARK_TYPES_H_
+#define JUGGLER_MINISPARK_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace juggler::minispark {
+
+/// Identifies a logical dataset (RDD) within an Application. Dense, assigned
+/// by construction order starting at 0.
+using DatasetId = int;
+
+constexpr DatasetId kInvalidDataset = -1;
+
+/// \brief User-selected application parameters (the paper's P1/P2 plus the
+/// iteration count discussed in §6.1).
+///
+/// `examples` and `features` drive dataset sizes and computation times;
+/// `iterations` drives how many times the iterative job repeats.
+struct AppParams {
+  double examples = 0.0;   ///< P1 — number of training examples.
+  double features = 0.0;   ///< P2 — number of features per example.
+  int iterations = 1;      ///< Number of iterations of the iterative job(s).
+
+  std::vector<double> AsVector() const { return {examples, features}; }
+};
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_TYPES_H_

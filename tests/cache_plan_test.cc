@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "minispark/cache_plan.h"
+
+namespace juggler::minispark {
+namespace {
+
+TEST(CachePlanTest, EmptyPlan) {
+  CachePlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.IsPersisted(0));
+  EXPECT_TRUE(plan.PersistedDatasets().empty());
+  EXPECT_EQ(plan.ToString(), "-");
+}
+
+TEST(CachePlanTest, IsPersistedChecksPersistOpsOnly) {
+  CachePlan plan{{CacheOp::Persist(1), CacheOp::Unpersist(2)}};
+  EXPECT_TRUE(plan.IsPersisted(1));
+  EXPECT_FALSE(plan.IsPersisted(2));
+}
+
+TEST(CachePlanTest, PersistedDatasetsInOrder) {
+  CachePlan plan{{CacheOp::Persist(3), CacheOp::Unpersist(3), CacheOp::Persist(1)}};
+  EXPECT_EQ(plan.PersistedDatasets(), (std::vector<DatasetId>{3, 1}));
+}
+
+TEST(CachePlanTest, UnpersistBeforeReturnsPrecedingDrops) {
+  // The paper's LOR SCHEDULE #3: p(1) p(2) u(2) p(11).
+  CachePlan plan{{CacheOp::Persist(1), CacheOp::Persist(2), CacheOp::Unpersist(2),
+                  CacheOp::Persist(11)}};
+  EXPECT_TRUE(plan.UnpersistBefore(1).empty());
+  EXPECT_TRUE(plan.UnpersistBefore(2).empty());
+  EXPECT_EQ(plan.UnpersistBefore(11), (std::vector<DatasetId>{2}));
+}
+
+TEST(CachePlanTest, UnpersistBeforeUnknownDatasetIsEmpty) {
+  CachePlan plan{{CacheOp::Unpersist(2), CacheOp::Persist(11)}};
+  EXPECT_TRUE(plan.UnpersistBefore(99).empty());
+}
+
+TEST(CachePlanTest, ToStringMatchesPaperNotation) {
+  CachePlan plan{{CacheOp::Persist(1), CacheOp::Unpersist(1), CacheOp::Persist(2),
+                  CacheOp::Unpersist(2), CacheOp::Persist(13)}};
+  EXPECT_EQ(plan.ToString(), "p(1) u(1) p(2) u(2) p(13)");
+}
+
+TEST(CachePlanTest, ParseRoundTrip) {
+  const std::string text = "p(1) p(2) u(2) p(11)";
+  auto plan = CachePlan::Parse(text);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ToString(), text);
+  EXPECT_EQ(plan->ops.size(), 4u);
+  EXPECT_EQ(plan->ops[2], CacheOp::Unpersist(2));
+}
+
+TEST(CachePlanTest, ParseToleratesWhitespace) {
+  auto plan = CachePlan::Parse("  p(7)   u(7) ");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->ops.size(), 2u);
+}
+
+TEST(CachePlanTest, ParseEmptyIsEmptyPlan) {
+  auto plan = CachePlan::Parse("");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->empty());
+}
+
+TEST(CachePlanTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(CachePlan::Parse("x(1)").ok());
+  EXPECT_FALSE(CachePlan::Parse("p[1]").ok());
+  EXPECT_FALSE(CachePlan::Parse("p(1").ok());
+  EXPECT_FALSE(CachePlan::Parse("p()").ok());
+  EXPECT_FALSE(CachePlan::Parse("p(1)u").ok());
+}
+
+TEST(CachePlanTest, Equality) {
+  CachePlan a{{CacheOp::Persist(1)}};
+  CachePlan b{{CacheOp::Persist(1)}};
+  CachePlan c{{CacheOp::Unpersist(1)}};
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace juggler::minispark

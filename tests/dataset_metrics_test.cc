@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "core/dataset_metrics.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::core {
+namespace {
+
+using minispark::CacheOp;
+using minispark::CachePlan;
+using minispark::ClusterConfig;
+using minispark::DagBuilder;
+using minispark::Engine;
+using minispark::PaperCluster;
+using minispark::RunOptions;
+
+/// Instrumented deterministic run returning the profile.
+std::shared_ptr<minispark::ProfilingDb> Profile(
+    const minispark::Application& app, int machines = 1,
+    const CachePlan& plan = CachePlan{}) {
+  RunOptions o;
+  o.instrument = true;
+  o.noise_sigma = 0.0;
+  o.straggler_prob = 0.0;
+  Engine engine(o);
+  auto r = engine.Run(app, PaperCluster(machines), plan);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->profile;
+}
+
+minispark::Application ChainApp(int iters) {
+  DagBuilder b("chain");
+  const auto src = b.AddSource("src", MiB(64), 4);
+  const auto parsed = b.AddNarrow("parsed", {src}, MiB(64), 20000.0);
+  const auto labeled = b.AddNarrow("labeled", {parsed}, MiB(32), 1000.0);
+  for (int i = 0; i < iters; ++i) {
+    const auto m = b.AddNarrow("m" + std::to_string(i), {labeled}, MiB(1), 400.0);
+    const auto a = b.AddWide("a" + std::to_string(i), {m}, 1024, 10.0, 1);
+    b.AddJob("it" + std::to_string(i), a, 1024);
+  }
+  return std::move(b).Build();
+}
+
+TEST(MergedDagTest, ReconstructedFromProfile) {
+  const auto app = ChainApp(3);
+  const auto profile = Profile(app);
+  const MergedDag dag = BuildMergedDag(*profile);
+  ASSERT_EQ(dag.num_datasets(), app.num_datasets());
+  EXPECT_EQ(dag.job_targets.size(), app.jobs.size());
+  // Children of "labeled" (id 2) are the three iteration maps.
+  EXPECT_EQ(dag.children[2].size(), 3u);
+}
+
+TEST(MergedDagTest, IsDescendant) {
+  const auto dag = BuildMergedDag(*Profile(ChainApp(2)));
+  EXPECT_TRUE(dag.IsDescendant(0, 2));
+  EXPECT_TRUE(dag.IsDescendant(1, 2));
+  EXPECT_FALSE(dag.IsDescendant(2, 1));
+  EXPECT_FALSE(dag.IsDescendant(2, 2));
+}
+
+TEST(MergedDagTest, FirstJobComputing) {
+  const auto dag = BuildMergedDag(*Profile(ChainApp(2)));
+  EXPECT_EQ(dag.FirstJobComputing(0), 0);
+  EXPECT_EQ(dag.FirstJobComputing(2), 0);
+}
+
+TEST(MergedDagTest, OnlyUsedVia) {
+  // In every job, `parsed` (1) is only reachable through `labeled` (2).
+  const auto dag = BuildMergedDag(*Profile(ChainApp(2)));
+  for (size_t j = 0; j < dag.job_targets.size(); ++j) {
+    EXPECT_TRUE(dag.OnlyUsedVia(static_cast<int>(j), 1, 2));
+  }
+  // But `labeled` is not "only via" a single iteration map in job 0.
+  EXPECT_FALSE(dag.OnlyUsedVia(1, 2, 3));  // Job 1 uses labeled via m1, not m0.
+}
+
+TEST(DeriveMetricsTest, ComputationCountsMatchStructure) {
+  const auto app = ChainApp(5);
+  auto metrics = DeriveDatasetMetrics(*Profile(app));
+  ASSERT_TRUE(metrics.ok());
+  const auto counts = minispark::ComputationCounts(app);
+  for (const auto& m : *metrics) {
+    EXPECT_EQ(m.computations, counts[static_cast<size_t>(m.id)])
+        << "dataset " << m.name;
+  }
+  // labeled computed once per iteration.
+  EXPECT_EQ((*metrics)[2].computations, 5);
+}
+
+TEST(DeriveMetricsTest, SizesMatchDatasetBytes) {
+  const auto app = ChainApp(3);
+  auto metrics = DeriveDatasetMetrics(*Profile(app));
+  ASSERT_TRUE(metrics.ok());
+  for (const auto& m : *metrics) {
+    EXPECT_NEAR(m.size_bytes, app.dataset(m.id).bytes,
+                0.01 * app.dataset(m.id).bytes + 1)
+        << "dataset " << m.name;
+  }
+}
+
+TEST(DeriveMetricsTest, ComputeTimeOrdering) {
+  // parsed (20 s CPU) must dwarf labeled (1 s) which dwarfs the maps.
+  auto metrics = DeriveDatasetMetrics(*Profile(ChainApp(3)));
+  ASSERT_TRUE(metrics.ok());
+  const auto& m = *metrics;
+  EXPECT_GT(m[1].compute_time_ms, 5 * m[2].compute_time_ms);
+  EXPECT_GT(m[2].compute_time_ms, m[3].compute_time_ms);
+  for (const auto& metric : m) EXPECT_GE(metric.compute_time_ms, 0.0);
+}
+
+TEST(DeriveMetricsTest, NarrowEtApproximatesComputeCost) {
+  // One job, one stage: ET of `parsed` should be near its per-wave compute
+  // share: 20 s CPU over 4 partitions on 4 cores = 1 wave of 5 s tasks.
+  DagBuilder b("small");
+  const auto src = b.AddSource("src", MiB(4), 4);
+  const auto parsed = b.AddNarrow("parsed", {src}, MiB(4), 20000.0);
+  b.AddJob("count", parsed, 64);
+  auto metrics = DeriveDatasetMetrics(*Profile(std::move(b).Build()));
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NEAR((*metrics)[1].compute_time_ms, 5000.0, 500.0);
+}
+
+TEST(DeriveMetricsTest, WavesMultiplyExecutionTime) {
+  // 8 partitions on 4 cores = 2 waves: ET doubles relative to 1 wave.
+  auto make = [](int partitions) {
+    DagBuilder b("waves");
+    const auto src = b.AddSource("src", MiB(8), partitions);
+    const auto parsed = b.AddNarrow("parsed", {src}, MiB(8), 20000.0);
+    b.AddJob("count", parsed, 64);
+    return std::move(b).Build();
+  };
+  const auto et = [&](int partitions) {
+    auto metrics = DeriveDatasetMetrics(*Profile(make(partitions)));
+    EXPECT_TRUE(metrics.ok());
+    return (*metrics)[1].compute_time_ms;
+  };
+  // Same total CPU split over 4 vs 8 partitions: per-task time halves but
+  // waves double, so ET stays roughly constant.
+  EXPECT_NEAR(et(8) / et(4), 1.0, 0.25);
+}
+
+TEST(DeriveMetricsTest, CacheHitsExcludedFromTiming) {
+  const auto app = ChainApp(6);
+  const CachePlan plan{{CacheOp::Persist(2)}};
+  auto cached_metrics = DeriveDatasetMetrics(*Profile(app, 4, plan));
+  auto plain_metrics = DeriveDatasetMetrics(*Profile(app, 4));
+  ASSERT_TRUE(cached_metrics.ok());
+  ASSERT_TRUE(plain_metrics.ok());
+  // labeled's computation time estimate should be similar whether or not
+  // later reads were cache hits (hits don't dilute the ET average).
+  const double cached_et = (*cached_metrics)[2].compute_time_ms;
+  const double plain_et = (*plain_metrics)[2].compute_time_ms;
+  EXPECT_NEAR(cached_et / plain_et, 1.0, 0.3);
+}
+
+TEST(DeriveMetricsTest, WideDatasetSumsWriteAndReadParts) {
+  auto metrics = DeriveDatasetMetrics(*Profile(ChainApp(1)));
+  ASSERT_TRUE(metrics.ok());
+  // The wide aggregation (id 4) has nonzero ET from write+read parts.
+  EXPECT_GT((*metrics)[4].compute_time_ms, 0.0);
+}
+
+TEST(DeriveMetricsTest, EmptyProfileRejected) {
+  minispark::ProfilingDb db;
+  EXPECT_FALSE(DeriveDatasetMetrics(db).ok());
+}
+
+TEST(DeriveMetricsTest, WorksForAllFiveWorkloads) {
+  for (const auto& w : workloads::AllWorkloads()) {
+    const minispark::AppParams small{1500, 400, 2};
+    const auto app = w.make(small);
+    auto metrics = DeriveDatasetMetrics(*Profile(app));
+    ASSERT_TRUE(metrics.ok()) << w.name;
+    EXPECT_EQ(metrics->size(), static_cast<size_t>(app.num_datasets()));
+    int intermediates = 0;
+    for (const auto& m : *metrics) {
+      if (m.computations > 1) ++intermediates;
+    }
+    EXPECT_GT(intermediates, 0) << w.name;
+  }
+}
+
+}  // namespace
+}  // namespace juggler::core

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::minispark {
+namespace {
+
+RunOptions Deterministic() {
+  RunOptions o;
+  o.noise_sigma = 0.0;
+  o.straggler_prob = 0.0;
+  return o;
+}
+
+/// An iterative app where one narrow dataset ("hot", 400 MB) is recomputed
+/// by each of `iters` jobs unless cached.
+Application IterativeApp(int iters, double hot_bytes = MiB(400)) {
+  DagBuilder b("iterative");
+  const DatasetId src = b.AddSource("src", MiB(256), 64);
+  const DatasetId hot = b.AddNarrow("hot", {src}, hot_bytes, 8000.0);
+  for (int i = 0; i < iters; ++i) {
+    const DatasetId m = b.AddNarrow("m" + std::to_string(i), {hot}, MiB(1), 100.0);
+    const DatasetId a = b.AddWide("a" + std::to_string(i), {m}, 1024, 1.0, 1);
+    b.AddJob("iter" + std::to_string(i), a, 1024);
+  }
+  return std::move(b).Build();
+}
+
+ClusterConfig SmallCluster(int machines, double heap = GiB(2)) {
+  ClusterConfig c = PaperCluster(machines);
+  c.executor_memory_bytes = heap;
+  return c;
+}
+
+TEST(EngineTest, RunsAndReportsDuration) {
+  Engine engine(Deterministic());
+  auto r = engine.Run(IterativeApp(3), SmallCluster(2), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->duration_ms, 0);
+  EXPECT_EQ(r->machines, 2);
+  EXPECT_NEAR(r->CostMachineMinutes(), 2 * ToMinutes(r->duration_ms), 1e-9);
+}
+
+TEST(EngineTest, CachingReducesDuration) {
+  Engine engine(Deterministic());
+  const Application app = IterativeApp(6);
+  auto uncached = engine.Run(app, SmallCluster(2), CachePlan{});
+  auto cached = engine.Run(app, SmallCluster(2), CachePlan{{CacheOp::Persist(1)}});
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_TRUE(cached.ok());
+  EXPECT_LT(cached->duration_ms, 0.5 * uncached->duration_ms);
+  EXPECT_GT(cached->cache_hits, 0);
+  EXPECT_EQ(cached->cache_recomputes, 0);
+}
+
+TEST(EngineTest, MoreIterationsBenefitMoreFromCaching) {
+  Engine engine(Deterministic());
+  auto speedup = [&](int iters) {
+    const Application app = IterativeApp(iters);
+    const double u =
+        engine.Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+    const double c =
+        engine.Run(app, SmallCluster(2), CachePlan{{CacheOp::Persist(1)}})
+            ->duration_ms;
+    return u / c;
+  };
+  EXPECT_GT(speedup(10), speedup(2));
+}
+
+TEST(EngineTest, EvictionWhenDatasetExceedsMemory) {
+  Engine engine(Deterministic());
+  // 2 GiB heap -> M ~ 1 GiB; a 4 GiB hot dataset on one machine cannot fit.
+  const Application app = IterativeApp(4, GiB(4));
+  auto r = engine.Run(app, SmallCluster(1), CachePlan{{CacheOp::Persist(1)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->cache_recomputes, 0);
+  const auto& stats = r->dataset_stats.at(1);
+  EXPECT_GT(stats.distinct_evicted, 0);
+  EXPECT_LT(r->FractionPartitionsNeverEvicted(), 1.0);
+}
+
+TEST(EngineTest, EnoughMachinesEliminateEviction) {
+  Engine engine(Deterministic());
+  const Application app = IterativeApp(4, GiB(4));
+  auto r = engine.Run(app, SmallCluster(8), CachePlan{{CacheOp::Persist(1)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->cache_recomputes, 0);
+  EXPECT_DOUBLE_EQ(r->FractionPartitionsNeverEvicted(), 1.0);
+}
+
+TEST(EngineTest, DeterministicForSameSeed) {
+  Engine a(RunOptions{}), b(RunOptions{});
+  const Application app = IterativeApp(3);
+  EXPECT_DOUBLE_EQ(a.Run(app, SmallCluster(2), CachePlan{})->duration_ms,
+                   b.Run(app, SmallCluster(2), CachePlan{})->duration_ms);
+}
+
+TEST(EngineTest, NoiseVariesAcrossSeeds) {
+  RunOptions o1;
+  o1.seed = 1;
+  RunOptions o2;
+  o2.seed = 2;
+  const Application app = IterativeApp(3);
+  const double d1 = Engine(o1).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  const double d2 = Engine(o2).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  EXPECT_NE(d1, d2);
+  EXPECT_NEAR(d1 / d2, 1.0, 0.2);  // Same order of magnitude.
+}
+
+TEST(EngineTest, MoreMachinesReduceTimeWithoutCaching) {
+  Engine engine(Deterministic());
+  const Application app = IterativeApp(4);
+  const double t2 = engine.Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  const double t8 = engine.Run(app, SmallCluster(8), CachePlan{})->duration_ms;
+  EXPECT_LT(t8, t2);
+}
+
+TEST(EngineTest, RunDefaultUsesDeveloperPlan) {
+  Engine engine(Deterministic());
+  Application app = IterativeApp(6);
+  app.default_plan = CachePlan{{CacheOp::Persist(1)}};
+  auto with_default = engine.RunDefault(app, SmallCluster(2));
+  ASSERT_TRUE(with_default.ok());
+  EXPECT_GT(with_default->cache_hits, 0);
+}
+
+TEST(EngineTest, UnpersistFreesMemoryForSuccessor) {
+  // Two hot datasets, together over capacity; chained jobs use hot1 first,
+  // then only hot2. With u(hot1) before p(hot2), hot2 fits.
+  DagBuilder b("unpersist");
+  const DatasetId src = b.AddSource("src", MiB(64), 4);
+  const DatasetId hot1 = b.AddNarrow("hot1", {src}, MiB(700), 5000.0);
+  const DatasetId hot2 = b.AddNarrow("hot2", {hot1}, MiB(700), 5000.0);
+  for (int i = 0; i < 3; ++i) {
+    const DatasetId m = b.AddNarrow("m" + std::to_string(i), {hot1}, 1024, 1.0);
+    b.AddJob("hot1-job" + std::to_string(i), m);
+  }
+  for (int i = 0; i < 3; ++i) {
+    const DatasetId m = b.AddNarrow("n" + std::to_string(i), {hot2}, 1024, 1.0);
+    b.AddJob("hot2-job" + std::to_string(i), m);
+  }
+  const Application app = std::move(b).Build();
+
+  Engine engine(Deterministic());
+  // M ~ 1.03 GiB: the two 700 MB datasets cannot coexist.
+  const ClusterConfig cluster = SmallCluster(1);
+  auto both = engine.Run(
+      app, cluster, CachePlan{{CacheOp::Persist(hot1), CacheOp::Persist(hot2)}});
+  auto with_unpersist = engine.Run(
+      app, cluster,
+      CachePlan{{CacheOp::Persist(hot1), CacheOp::Unpersist(hot1),
+                 CacheOp::Persist(hot2)}});
+  ASSERT_TRUE(both.ok());
+  ASSERT_TRUE(with_unpersist.ok());
+  EXPECT_GT(both->blocks_evicted + both->store_rejections, 0);
+  EXPECT_EQ(with_unpersist->blocks_evicted + with_unpersist->store_rejections, 0);
+  EXPECT_LE(with_unpersist->duration_ms, both->duration_ms);
+}
+
+TEST(EngineTest, InstrumentationProducesProfile) {
+  RunOptions o = Deterministic();
+  o.instrument = true;
+  Engine engine(o);
+  const Application app = IterativeApp(2);
+  auto r = engine.Run(app, SmallCluster(2), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  ASSERT_NE(r->profile, nullptr);
+  const auto& db = *r->profile;
+  EXPECT_EQ(db.jobs().size(), app.jobs.size());
+  EXPECT_EQ(db.datasets().size(), static_cast<size_t>(app.num_datasets()));
+  EXPECT_EQ(db.machines(), 2);
+  EXPECT_FALSE(db.tasks().empty());
+  EXPECT_FALSE(db.transforms().empty());
+  // Every transform record belongs to a recorded task and nests within it.
+  for (const auto& t : db.transforms()) {
+    bool found = false;
+    for (const auto& task : db.tasks()) {
+      if (task.job == t.job && task.stage == t.stage &&
+          task.task_index == t.task_index) {
+        EXPECT_GE(t.start_ms, task.start_ms - 1e-6);
+        EXPECT_LE(t.finish_ms, task.finish_ms + 1e-6);
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(EngineTest, InstrumentationAddsOverhead) {
+  RunOptions plain = Deterministic();
+  RunOptions instr = Deterministic();
+  instr.instrument = true;
+  const Application app = IterativeApp(3);
+  const double t_plain =
+      Engine(plain).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  const double t_instr =
+      Engine(instr).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  EXPECT_GT(t_instr, t_plain);
+  EXPECT_LT(t_instr, 1.2 * t_plain);
+}
+
+TEST(EngineTest, WideShuffleRecordsWriteAndRead) {
+  RunOptions o = Deterministic();
+  o.instrument = true;
+  Engine engine(o);
+  const Application app = IterativeApp(1);
+  auto r = engine.Run(app, SmallCluster(1), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  bool saw_write = false, saw_read = false;
+  for (const auto& t : r->profile->transforms()) {
+    if (t.part == TransformPart::kShuffleWrite) saw_write = true;
+    if (t.part == TransformPart::kShuffleRead) saw_read = true;
+  }
+  EXPECT_TRUE(saw_write);
+  EXPECT_TRUE(saw_read);
+}
+
+TEST(EngineTest, RejectsInvalidCluster) {
+  Engine engine(Deterministic());
+  EXPECT_FALSE(engine.Run(IterativeApp(1), SmallCluster(0), CachePlan{}).ok());
+}
+
+TEST(EngineTest, RejectsPlanWithUnknownDataset) {
+  Engine engine(Deterministic());
+  EXPECT_FALSE(engine
+                   .Run(IterativeApp(1), SmallCluster(1),
+                        CachePlan{{CacheOp::Persist(999)}})
+                   .ok());
+}
+
+TEST(EngineTest, RejectsInvalidApplication) {
+  Engine engine(Deterministic());
+  Application app = IterativeApp(1);
+  app.jobs.clear();
+  EXPECT_FALSE(engine.Run(app, SmallCluster(1), CachePlan{}).ok());
+}
+
+TEST(EngineTest, StragglersLengthenRuns) {
+  RunOptions calm = Deterministic();
+  RunOptions stormy = Deterministic();
+  stormy.straggler_prob = 0.5;
+  stormy.straggler_factor = 5.0;
+  const Application app = IterativeApp(4);
+  const double t_calm =
+      Engine(calm).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  const double t_storm =
+      Engine(stormy).Run(app, SmallCluster(2), CachePlan{})->duration_ms;
+  EXPECT_GT(t_storm, 1.5 * t_calm);
+}
+
+TEST(EngineTest, SvmAreaShape) {
+  // The Figure 2 sanity check at reduced scale: with the developer cache,
+  // cost falls through area A, bottoms out, then grows in area B.
+  auto w = workloads::GetWorkload("svm");
+  ASSERT_TRUE(w.ok());
+  minispark::AppParams p{8000, 8000, 20};
+  Engine engine(Deterministic());
+  std::vector<double> costs;
+  for (int m = 1; m <= 8; ++m) {
+    ClusterConfig c = PaperCluster(m);
+    c.executor_memory_bytes = GiB(2);
+    auto r = engine.RunDefault(w->make(p), c);
+    ASSERT_TRUE(r.ok());
+    costs.push_back(r->CostMachineMinutes());
+  }
+  const auto min_it = std::min_element(costs.begin(), costs.end());
+  const size_t min_idx = static_cast<size_t>(min_it - costs.begin());
+  EXPECT_GT(min_idx, 0u);           // Not cheapest on one machine (area A).
+  EXPECT_LT(min_idx, costs.size() - 1);  // Not cheapest at max (area B).
+  EXPECT_GT(costs.front(), 1.5 * *min_it);
+}
+
+}  // namespace
+}  // namespace juggler::minispark

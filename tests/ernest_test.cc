@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/ernest.h"
+#include "math/stats.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::baselines {
+namespace {
+
+using minispark::AppParams;
+using minispark::PaperCluster;
+using minispark::RunOptions;
+
+TEST(ErnestModelTest, PredictEvaluatesAllTerms) {
+  ErnestModel m;
+  m.theta = {100.0, 2000.0, 50.0, 10.0};
+  const double t = m.Predict(0.5, 4);
+  EXPECT_NEAR(t, 100 + 2000 * 0.5 / 4 + 50 * std::log(4.0) + 10 * 4, 1e-9);
+}
+
+TEST(ErnestModelTest, CheapestMachinesMinimizesCost) {
+  // Pure parallel work: time = 1200/m, cost = 1200 -> flat; with a machine
+  // term the cheapest is 1 machine.
+  ErnestModel m;
+  m.theta = {0.0, 1200.0, 0.0, 10.0};
+  EXPECT_EQ(m.CheapestMachines(12), 1);
+  // Heavy serial + parallel but no machine penalty: cost = s*m + par ->
+  // still 1 machine; Ernest structurally prefers few machines on cost,
+  // which is the paper's point about area A.
+  m.theta = {500.0, 5000.0, 0.0, 0.0};
+  EXPECT_EQ(m.CheapestMachines(12), 1);
+}
+
+TEST(ErnestModelTest, ExperimentDesignCoversScalesAndMachines) {
+  const auto design = ErnestExperimentDesign(12);
+  EXPECT_EQ(design.size(), 7u);
+  for (const auto& [scale, machines] : design) {
+    EXPECT_GE(scale, 0.01);
+    EXPECT_LE(scale, 0.1);
+    EXPECT_GE(machines, 1);
+    EXPECT_LE(machines, 12);
+  }
+  // Clamped for small clusters.
+  for (const auto& [scale, machines] : ErnestExperimentDesign(2)) {
+    EXPECT_LE(machines, 2);
+  }
+}
+
+TEST(TrainErnestTest, RejectsTinyDesign) {
+  const auto w = workloads::GetWorkload("svm").value();
+  EXPECT_FALSE(TrainErnest(w.make, w.paper_params, PaperCluster(1),
+                           {{0.1, 1}, {0.1, 2}}, RunOptions{})
+                   .ok());
+}
+
+TEST(TrainErnestTest, FitsAndExtrapolatesCpuBoundApp) {
+  // On a CPU-bound app without cache pressure, Ernest extrapolates well
+  // (the paper: "Ernest predicts their performance accurately").
+  const auto w = workloads::GetWorkload("lor").value();
+  AppParams params{20000, 2000, 5};
+
+  RunOptions quiet;
+  quiet.noise_sigma = 0.0;
+  quiet.straggler_prob = 0.0;
+  auto model = TrainErnest(w.make, params, PaperCluster(1),
+                           ErnestExperimentDesign(8), quiet);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+
+  minispark::Engine engine(quiet);
+  auto actual = engine.RunDefault(w.make(params), PaperCluster(8));
+  ASSERT_TRUE(actual.ok());
+  const double predicted = model->Predict(1.0, 8);
+  // Prediction within a factor of ~2: Ernest's model class fits the
+  // simulator's serial/parallel/coordination terms.
+  EXPECT_GT(math::PredictionAccuracy(predicted, actual->duration_ms), 0.4)
+      << "predicted " << predicted << " actual " << actual->duration_ms;
+}
+
+TEST(TrainErnestTest, MispredictsAreaAForCacheBoundApp) {
+  // The paper's Figure 2 finding: Ernest trains on tiny samples that fit in
+  // memory, so it badly underestimates the eviction-dominated small-cluster
+  // runs of SVM and recommends too few machines.
+  const auto w = workloads::GetWorkload("svm").value();
+  AppParams params = w.paper_params;
+  params.iterations = 30;
+
+  RunOptions quiet;
+  quiet.noise_sigma = 0.0;
+  quiet.straggler_prob = 0.0;
+  auto model = TrainErnest(w.make, params, PaperCluster(1),
+                           ErnestExperimentDesign(12), quiet);
+  ASSERT_TRUE(model.ok());
+
+  minispark::Engine engine(quiet);
+  auto one_machine = engine.RunDefault(w.make(params), PaperCluster(1));
+  ASSERT_TRUE(one_machine.ok());
+  const double predicted = model->Predict(1.0, 1);
+  // Underestimates the 1-machine run massively (paper reports 16x).
+  EXPECT_LT(predicted, 0.25 * one_machine->duration_ms);
+  // And consequently recommends very few machines as "cheapest".
+  EXPECT_LE(model->CheapestMachines(12), 3);
+}
+
+}  // namespace
+}  // namespace juggler::baselines

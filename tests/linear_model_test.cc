@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "math/linear_model.h"
+#include "math/stats.h"
+
+namespace juggler::math {
+namespace {
+
+std::vector<Observation> GridObservations(
+    const std::function<double(double, double)>& fn) {
+  std::vector<Observation> out;
+  for (double e : {1000.0, 2000.0, 4000.0}) {
+    for (double f : {250.0, 500.0, 1000.0}) {
+      out.push_back(Observation{{e, f}, fn(e, f)});
+    }
+  }
+  return out;
+}
+
+TEST(LinearModelTest, FamiliesHaveExpectedArity) {
+  const auto sizes = MakeSizeModelFamilies();
+  ASSERT_EQ(sizes.size(), 4u);
+  EXPECT_EQ(sizes[0].num_terms(), 1);
+  EXPECT_EQ(sizes[1].num_terms(), 2);
+  EXPECT_EQ(sizes[2].num_terms(), 2);
+  EXPECT_EQ(sizes[3].num_terms(), 3);
+  const auto times = MakeTimeModelFamilies();
+  ASSERT_EQ(times.size(), 4u);
+}
+
+TEST(LinearModelTest, FitRecoversCoefficients) {
+  auto model = MakeSizeModelFamilies()[1];  // size = t0*e + t1*e*f
+  const auto data =
+      GridObservations([](double e, double f) { return 4.0 * e + 0.5 * e * f; });
+  ASSERT_TRUE(model.Fit(data).ok());
+  ASSERT_TRUE(model.fitted());
+  EXPECT_NEAR(model.coefficients()[0], 4.0, 1e-3);
+  EXPECT_NEAR(model.coefficients()[1], 0.5, 1e-6);
+  EXPECT_NEAR(model.Predict({3000, 600}), 4.0 * 3000 + 0.5 * 3000 * 600, 1.0);
+}
+
+TEST(LinearModelTest, FitRejectsTooFewObservations) {
+  auto model = MakeSizeModelFamilies()[3];  // 3 terms
+  std::vector<Observation> two = {{{1, 1}, 1.0}, {{2, 2}, 2.0}};
+  EXPECT_FALSE(model.Fit(two).ok());
+}
+
+TEST(LinearModelTest, PredictOnUnfittedAsserts) {
+  auto model = MakeSizeModelFamilies()[0];
+  EXPECT_FALSE(model.fitted());
+}
+
+TEST(LinearModelTest, ToStringShowsCoefficients) {
+  auto model = MakeSizeModelFamilies()[0];
+  EXPECT_NE(model.ToString().find("unfitted"), std::string::npos);
+  ASSERT_TRUE(
+      model.Fit(GridObservations([](double e, double f) { return 2.0 * e * f; }))
+          .ok());
+  EXPECT_NE(model.ToString().find("e*f"), std::string::npos);
+}
+
+TEST(MeanRelativeErrorTest, ZeroForPerfectFit) {
+  auto model = MakeSizeModelFamilies()[0];
+  const auto data =
+      GridObservations([](double e, double f) { return 1.5 * e * f; });
+  ASSERT_TRUE(model.Fit(data).ok());
+  EXPECT_NEAR(MeanRelativeError(model, data), 0.0, 1e-9);
+}
+
+TEST(CrossValidationTest, SelectsGeneratingFamily) {
+  // Data from size = t0*f + t1*e*f (family 3); CV must pick it (or a family
+  // that fits it equally well).
+  const auto data = GridObservations(
+      [](double e, double f) { return 100.0 * f + 0.25 * e * f; });
+  auto best = SelectModelByCrossValidation(MakeSizeModelFamilies(), data);
+  ASSERT_TRUE(best.ok());
+  EXPECT_LT(MeanRelativeError(*best, data), 1e-6);
+}
+
+TEST(CrossValidationTest, SelectsConstantPlusProductForTimeData) {
+  const auto data = GridObservations(
+      [](double e, double f) { return 5000.0 + 0.001 * e * f; });
+  auto best = SelectModelByCrossValidation(MakeTimeModelFamilies(), data);
+  ASSERT_TRUE(best.ok());
+  EXPECT_LT(MeanRelativeError(*best, data), 1e-6);
+}
+
+TEST(CrossValidationTest, ToleratesNoise) {
+  Rng rng(5);
+  auto data = GridObservations(
+      [](double e, double f) { return 2.0 * e * f + 10.0 * e; });
+  for (auto& obs : data) obs.value *= rng.Jitter(0.02);
+  auto best = SelectModelByCrossValidation(MakeSizeModelFamilies(), data);
+  ASSERT_TRUE(best.ok());
+  EXPECT_LT(MeanRelativeError(*best, data), 0.05);
+}
+
+TEST(CrossValidationTest, FailsOnEmptyData) {
+  EXPECT_FALSE(SelectModelByCrossValidation(MakeSizeModelFamilies(), {}).ok());
+}
+
+TEST(CrossValidationTest, FailsWhenNoFamilyFits) {
+  // One observation cannot LOO-validate any family.
+  std::vector<Observation> one = {{{1, 1}, 1.0}};
+  EXPECT_FALSE(SelectModelByCrossValidation(MakeSizeModelFamilies(), one).ok());
+}
+
+TEST(StatsTest, RelativeErrorAndAccuracy) {
+  EXPECT_DOUBLE_EQ(RelativeError(110, 100), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PredictionAccuracy(90, 100), 0.9);
+  EXPECT_DOUBLE_EQ(PredictionAccuracy(300, 100), 0.0);  // Clamped.
+}
+
+TEST(StatsTest, Mean) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+}
+
+/// Property sweep: whichever of the four size families generated the data,
+/// cross-validation recovers a model with near-zero error.
+class FamilyRecoveryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamilyRecoveryTest, RecoversGeneratingFamily) {
+  const int family = GetParam();
+  Rng rng(static_cast<uint64_t>(family) + 100);
+  const double t0 = rng.Uniform(0.5, 5.0);
+  const double t1 = rng.Uniform(0.01, 0.2);
+  const double t2 = rng.Uniform(0.001, 0.01);
+  auto fn = [&](double e, double f) -> double {
+    switch (family) {
+      case 0:
+        return t0 * e * f;
+      case 1:
+        return t0 * e + t1 * e * f;
+      case 2:
+        return t0 * f + t1 * e * f;
+      default:
+        return t0 + t1 * e + t2 * e * f;
+    }
+  };
+  auto best =
+      SelectModelByCrossValidation(MakeSizeModelFamilies(), GridObservations(fn));
+  ASSERT_TRUE(best.ok());
+  EXPECT_LT(MeanRelativeError(*best, GridObservations(fn)), 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFamilies, FamilyRecoveryTest,
+                         ::testing::Range(0, 4));
+
+}  // namespace
+}  // namespace juggler::math

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "minispark/cluster.h"
+#include "minispark/engine.h"
+
+namespace juggler::minispark {
+namespace {
+
+RunOptions Deterministic() {
+  RunOptions o;
+  o.noise_sigma = 0.0;
+  o.straggler_prob = 0.0;
+  return o;
+}
+
+TEST(ClusterTest, MemoryLayoutMatchesPaperSection22) {
+  // §2.2: with 12 GB executors, M = (12 GB - 300 MB) x 60 % = 7.02 GB and
+  // R = M x 50 % = 3.51 GB.
+  const ClusterConfig c = PaperCluster(1);
+  EXPECT_NEAR(ToGiB(c.UnifiedMemoryPerMachine()), 7.02, 0.01);
+  EXPECT_NEAR(ToGiB(c.MinStoragePerMachine()), 3.51, 0.01);
+}
+
+TEST(ClusterTest, WithMachinesChangesOnlyCount) {
+  const ClusterConfig base = PaperCluster(3);
+  const ClusterConfig more = base.WithMachines(9);
+  EXPECT_EQ(more.num_machines, 9);
+  EXPECT_EQ(more.cores_per_machine, base.cores_per_machine);
+  EXPECT_DOUBLE_EQ(more.executor_memory_bytes, base.executor_memory_bytes);
+  EXPECT_EQ(more.TotalCores(), 36);
+}
+
+TEST(ClusterTest, ToStringMentionsShape) {
+  const std::string s = PaperCluster(7).ToString();
+  EXPECT_NE(s.find("machines=7"), std::string::npos);
+  EXPECT_NE(s.find("M="), std::string::npos);
+}
+
+TEST(ClusterTest, TrainingNodeIsSmall) {
+  EXPECT_LT(TrainingNode().executor_memory_bytes,
+            PaperCluster(1).executor_memory_bytes);
+  EXPECT_EQ(TrainingNode().num_machines, 1);
+}
+
+/// App with a wide (shuffled) dataset that several jobs re-read: caching it
+/// must let the engine skip the (expensive) parent map stage entirely.
+Application WideReuseApp(int jobs) {
+  DagBuilder b("wide-reuse");
+  const DatasetId src = b.AddSource("src", MiB(64), 8);
+  const DatasetId mapped = b.AddNarrow("mapped", {src}, MiB(64), 30000.0);
+  const DatasetId grouped = b.AddWide("grouped", {mapped}, MiB(32), 500.0, 8);
+  for (int i = 0; i < jobs; ++i) {
+    const DatasetId probe =
+        b.AddNarrow("probe" + std::to_string(i), {grouped}, 1024, 10.0);
+    b.AddJob("job" + std::to_string(i), probe, 64);
+  }
+  return std::move(b).Build();
+}
+
+TEST(EngineStageSkippingTest, FullyCachedWideSkipsParentStage) {
+  Engine engine(Deterministic());
+  const Application app = WideReuseApp(5);
+  auto uncached = engine.Run(app, PaperCluster(2), CachePlan{});
+  auto cached =
+      engine.Run(app, PaperCluster(2), CachePlan{{CacheOp::Persist(2)}});
+  ASSERT_TRUE(uncached.ok());
+  ASSERT_TRUE(cached.ok());
+  // Without caching, every job redoes the 30 s map stage + shuffle.
+  EXPECT_LT(cached->duration_ms, 0.4 * uncached->duration_ms);
+}
+
+TEST(EngineStageSkippingTest, SkippedStageEmitsNoTasks) {
+  RunOptions o = Deterministic();
+  o.instrument = true;
+  Engine engine(o);
+  const Application app = WideReuseApp(4);
+  auto r = engine.Run(app, PaperCluster(2), CachePlan{{CacheOp::Persist(2)}});
+  ASSERT_TRUE(r.ok());
+  // Job 0 materializes the wide dataset (map stage runs once); later jobs
+  // read it from cache: they contribute one single-stage job each.
+  int map_records = 0;
+  for (const auto& t : r->profile->transforms()) {
+    if (t.dataset == 1 && !t.from_cache) ++map_records;
+  }
+  EXPECT_EQ(map_records, 8);  // 8 partitions, computed exactly once.
+}
+
+TEST(EngineSpillTest, ExecutionShortfallSlowsTasks) {
+  // Execution demand far beyond M triggers the spill penalty.
+  auto make = [](double exec_bytes) {
+    DagBuilder b("spill");
+    const DatasetId src = b.AddSource("src", MiB(64), 8);
+    const DatasetId heavy =
+        b.AddNarrow("heavy", {src}, MiB(64), 20000.0, exec_bytes);
+    b.AddJob("job", heavy, 64);
+    return std::move(b).Build();
+  };
+  ClusterConfig tiny = PaperCluster(1);
+  tiny.executor_memory_bytes = GiB(1);
+  Engine engine(Deterministic());
+  const double fits = engine.Run(make(MiB(10)), tiny, CachePlan{})->duration_ms;
+  const double spills =
+      engine.Run(make(GiB(2)), tiny, CachePlan{})->duration_ms;
+  EXPECT_GT(spills, 1.3 * fits);
+}
+
+TEST(EngineResidencyTest, ResidentFractionTracksSteadyState) {
+  DagBuilder b("resident");
+  const DatasetId src = b.AddSource("src", MiB(64), 8);
+  const DatasetId hot = b.AddNarrow("hot", {src}, MiB(800), 10000.0);
+  for (int i = 0; i < 4; ++i) {
+    const DatasetId probe =
+        b.AddNarrow("p" + std::to_string(i), {hot}, 1024, 10.0);
+    b.AddJob("job" + std::to_string(i), probe, 64);
+  }
+  const Application app = std::move(b).Build();
+
+  ClusterConfig small = PaperCluster(1);
+  small.executor_memory_bytes = GiB(2);  // M ~ 1.02 GiB: 800 MB fits.
+  Engine engine(Deterministic());
+  auto fits = engine.Run(app, small, CachePlan{{CacheOp::Persist(hot)}});
+  ASSERT_TRUE(fits.ok());
+  EXPECT_DOUBLE_EQ(fits->FractionPartitionsResident(), 1.0);
+
+  small.executor_memory_bytes = GiB(1);  // M ~ 0.44 GiB: cannot fit.
+  auto evicts = engine.Run(app, small, CachePlan{{CacheOp::Persist(hot)}});
+  ASSERT_TRUE(evicts.ok());
+  EXPECT_LT(evicts->FractionPartitionsResident(), 0.8);
+  EXPECT_GT(evicts->peak_execution_bytes, -1.0);  // Defined (zero here).
+}
+
+TEST(EngineResidencyTest, ResidentIsOneWithoutPersistence) {
+  Engine engine(Deterministic());
+  auto r = engine.Run(WideReuseApp(2), PaperCluster(1), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->FractionPartitionsResident(), 1.0);
+}
+
+TEST(EnginePeakExecTest, ReportsLargestFootprint) {
+  DagBuilder b("peak");
+  const DatasetId src = b.AddSource("src", MiB(64), 8);
+  const DatasetId a = b.AddNarrow("a", {src}, MiB(1), 100.0, MiB(50));
+  const DatasetId c = b.AddNarrow("c", {a}, MiB(1), 100.0, MiB(200));
+  b.AddJob("job", c, 64);
+  Engine engine(Deterministic());
+  auto r = engine.Run(std::move(b).Build(), PaperCluster(1), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  // Peak = max exec per task (200 MB) x 4 cores.
+  EXPECT_NEAR(r->peak_execution_bytes, MiB(800), MiB(1));
+}
+
+}  // namespace
+}  // namespace juggler::minispark

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/recommender.h"
+#include "math/linear_model.h"
+#include "minispark/cluster.h"
+
+namespace juggler::core {
+namespace {
+
+using minispark::AppParams;
+using minispark::PaperCluster;
+
+/// Builds a TrainedJuggler with hand-made models: schedule k caches one
+/// dataset of size `size_per_ef * e * f` and runs in `time_per_ef * e * f`.
+TrainedJuggler MakeTrained(const std::vector<double>& size_per_ef,
+                           const std::vector<double>& time_per_ef,
+                           double memory_factor = 1.0) {
+  std::vector<Schedule> schedules;
+  SizeCalibration sizes;
+  std::vector<math::LinearModel> time_models;
+  for (size_t i = 0; i < size_per_ef.size(); ++i) {
+    Schedule s;
+    s.id = static_cast<int>(i) + 1;
+    s.datasets = {static_cast<DatasetId>(i)};
+    s.plan = minispark::CachePlan{
+        {minispark::CacheOp::Persist(static_cast<DatasetId>(i))}};
+    schedules.push_back(s);
+
+    std::vector<math::Observation> obs;
+    for (double e : {1000.0, 2000.0, 4000.0}) {
+      for (double f : {100.0, 200.0, 400.0}) {
+        obs.push_back({{e, f}, size_per_ef[i] * e * f});
+      }
+    }
+    auto size_model =
+        math::SelectModelByCrossValidation(math::MakeSizeModelFamilies(), obs);
+    EXPECT_TRUE(size_model.ok());
+    sizes.models.emplace(static_cast<DatasetId>(i),
+                         std::move(size_model).value());
+
+    std::vector<math::Observation> tobs;
+    for (double e : {1000.0, 2000.0, 4000.0}) {
+      for (double f : {100.0, 200.0, 400.0}) {
+        tobs.push_back({{e, f}, time_per_ef[i] * e * f});
+      }
+    }
+    auto time_model =
+        math::SelectModelByCrossValidation(math::MakeTimeModelFamilies(), tobs);
+    EXPECT_TRUE(time_model.ok());
+    time_models.push_back(std::move(time_model).value());
+  }
+  MemoryCalibration memory;
+  memory.memory_factor = memory_factor;
+  return TrainedJuggler("synthetic", std::move(schedules), std::move(sizes),
+                        memory, std::move(time_models));
+}
+
+TEST(RecommenderTest, RecommendAllComputesPipeline) {
+  // One schedule: 1 KB per e*f unit, 0.5 ms per e*f unit.
+  auto juggler = MakeTrained({1024.0}, {0.5});
+  const AppParams p{2000, 300, 1};
+  auto recs = juggler.RecommendAll(p, PaperCluster(1));
+  ASSERT_TRUE(recs.ok());
+  ASSERT_EQ(recs->size(), 1u);
+  const auto& r = (*recs)[0];
+  EXPECT_NEAR(r.predicted_bytes, 1024.0 * 2000 * 300, 1.0);
+  const double per_machine = PaperCluster(1).UnifiedMemoryPerMachine();
+  EXPECT_EQ(r.machines,
+            static_cast<int>(std::ceil(r.predicted_bytes / per_machine)));
+  EXPECT_NEAR(r.predicted_time_ms, 0.5 * 2000 * 300, 1.0);
+  EXPECT_NEAR(r.predicted_cost_machine_min,
+              r.machines * r.predicted_time_ms / 60000.0, 1e-9);
+}
+
+TEST(RecommenderTest, MemoryFactorInflatesMachineCount) {
+  auto full = MakeTrained({1024.0}, {0.5}, 1.0);
+  auto tight = MakeTrained({1024.0}, {0.5}, 0.5);
+  const AppParams p{4000, 400, 1};
+  const int m_full =
+      full.RecommendAll(p, PaperCluster(1))->front().machines;
+  const int m_tight =
+      tight.RecommendAll(p, PaperCluster(1))->front().machines;
+  EXPECT_GE(m_tight, 2 * m_full - 1);
+}
+
+TEST(RecommenderTest, ParetoFilterDropsDominated) {
+  // Schedule 2 is both slower and (given equal machine counts) costlier.
+  auto juggler = MakeTrained({1.0, 1.0}, {0.5, 0.9});
+  const AppParams p{2000, 300, 1};
+  auto all = juggler.RecommendAll(p, PaperCluster(1));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 2u);
+  auto filtered = juggler.Recommend(p, PaperCluster(1));
+  ASSERT_TRUE(filtered.ok());
+  ASSERT_EQ(filtered->size(), 1u);
+  EXPECT_EQ((*filtered)[0].schedule_id, 1);
+}
+
+TEST(RecommenderTest, ParetoFilterKeepsTradeoffs) {
+  // Schedule 1: small memory (1 machine), slow. Schedule 2: big memory
+  // (several machines -> costlier) but fast. Neither dominates.
+  auto juggler = MakeTrained({0.001, 40000.0}, {0.09, 0.02});
+  const AppParams p{4000, 400, 1};
+  auto filtered = juggler.Recommend(p, PaperCluster(1));
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ(filtered->size(), 2u);
+}
+
+TEST(RecommenderTest, MachineTypeChangesRecommendation) {
+  // The optimization models transfer across machine types (§6.2): the same
+  // trained state recommends fewer, bigger machines when memory per machine
+  // grows.
+  auto juggler = MakeTrained({10240.0}, {0.5});
+  const AppParams p{4000, 400, 1};
+  minispark::ClusterConfig big = PaperCluster(1);
+  big.executor_memory_bytes = 4 * big.executor_memory_bytes;
+  const int m_small =
+      juggler.RecommendAll(p, PaperCluster(1))->front().machines;
+  const int m_big = juggler.RecommendAll(p, big)->front().machines;
+  EXPECT_LT(m_big, m_small);
+}
+
+}  // namespace
+}  // namespace juggler::core

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/exec_time_model.h"
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "math/stats.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::core {
+namespace {
+
+using minispark::AppParams;
+using minispark::PaperCluster;
+
+TrainingResult TrainSmall(const std::string& name) {
+  const auto w = workloads::GetWorkload(name).value();
+  JugglerConfig config;
+  config.time_grid = TrainingGrid{{4000, 8000, 16000}, {1000, 2000, 4000}, 5};
+  config.memory_reference = w.paper_params;
+  config.run_options.noise_sigma = 0.0;
+  config.run_options.straggler_prob = 0.0;
+  auto training = TrainJuggler(name, w.make, config);
+  EXPECT_TRUE(training.ok()) << training.status().ToString();
+  return std::move(training).value();
+}
+
+TEST(SerializationTest, RoundTripPreservesRecommendations) {
+  const auto training = TrainSmall("svm");
+  const std::string text = TrainedJugglerToString(training.trained);
+  EXPECT_NE(text.find("juggler-model 1"), std::string::npos);
+  EXPECT_NE(text.find("app svm"), std::string::npos);
+
+  auto loaded = TrainedJugglerFromString(text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  EXPECT_EQ(loaded->app_name(), "svm");
+  EXPECT_EQ(loaded->schedules().size(), training.trained.schedules().size());
+  EXPECT_DOUBLE_EQ(loaded->memory().memory_factor,
+                   training.trained.memory().memory_factor);
+  for (size_t i = 0; i < loaded->schedules().size(); ++i) {
+    EXPECT_EQ(loaded->schedules()[i].plan,
+              training.trained.schedules()[i].plan);
+    EXPECT_EQ(loaded->schedules()[i].datasets,
+              training.trained.schedules()[i].datasets);
+  }
+
+  // The online path must be bit-identical after a round trip.
+  const AppParams user{12000, 3000, 5};
+  auto original = training.trained.RecommendAll(user, PaperCluster(1));
+  auto restored = loaded->RecommendAll(user, PaperCluster(1));
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(original->size(), restored->size());
+  for (size_t i = 0; i < original->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*original)[i].predicted_bytes,
+                     (*restored)[i].predicted_bytes);
+    EXPECT_EQ((*original)[i].machines, (*restored)[i].machines);
+    EXPECT_DOUBLE_EQ((*original)[i].predicted_time_ms,
+                     (*restored)[i].predicted_time_ms);
+  }
+}
+
+TEST(SerializationTest, RoundTripSurvivesSecondRoundTrip) {
+  const auto training = TrainSmall("pca");
+  const std::string once = TrainedJugglerToString(training.trained);
+  auto loaded = TrainedJugglerFromString(once);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(TrainedJugglerToString(*loaded), once);
+}
+
+TEST(SerializationTest, RejectsGarbage) {
+  EXPECT_FALSE(TrainedJugglerFromString("").ok());
+  EXPECT_FALSE(TrainedJugglerFromString("not-a-model 1\n").ok());
+  EXPECT_FALSE(TrainedJugglerFromString("juggler-model 99\n").ok());
+}
+
+TEST(SerializationTest, RejectsTruncatedInput) {
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  // Chop the text mid-structure; such prefixes must fail cleanly. (A cut
+  // inside the final coefficient may still parse — text formats cannot
+  // detect every truncation — so cut at section boundaries.)
+  for (size_t cut : {text.size() / 4, text.size() / 2,
+                     text.find("time_models"), text.find("size_models")}) {
+    auto loaded = TrainedJugglerFromString(text.substr(0, cut));
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(SerializationTest, RejectsUnknownModelFamily) {
+  const auto training = TrainSmall("pca");
+  std::string text = TrainedJugglerToString(training.trained);
+  const size_t pos = text.find("size~");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 5, "bogus");
+  EXPECT_EQ(TrainedJugglerFromString(text).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelFamilyByNameTest, FindsAllFamilies) {
+  for (const auto& families :
+       {math::MakeSizeModelFamilies(), math::MakeTimeModelFamilies()}) {
+    for (const auto& family : families) {
+      auto found = math::MakeModelFamilyByName(family.name());
+      ASSERT_TRUE(found.ok()) << family.name();
+      EXPECT_EQ(found->num_terms(), family.num_terms());
+    }
+  }
+  EXPECT_FALSE(math::MakeModelFamilyByName("nope").ok());
+}
+
+TEST(ModelFamilyByNameTest, SetCoefficientsValidatesArity) {
+  auto model = math::MakeModelFamilyByName("size~e+e*f").value();
+  EXPECT_FALSE(model.SetCoefficients({1.0}).ok());
+  ASSERT_TRUE(model.SetCoefficients({2.0, 3.0}).ok());
+  EXPECT_DOUBLE_EQ(model.Predict({10, 5}), 2.0 * 10 + 3.0 * 50);
+}
+
+TEST(IterationExtensionTest, RescaleIsLinearInIterations) {
+  IterationExtension ext;
+  ext.a = 1000.0;
+  ext.b = 100.0;
+  ext.base_iterations = 10;  // base = 2000.
+  EXPECT_DOUBLE_EQ(ext.Rescale(4000.0, 10), 4000.0);
+  EXPECT_DOUBLE_EQ(ext.Rescale(4000.0, 30), 4000.0 * 2.0);  // 4000/2000.
+  EXPECT_DOUBLE_EQ(ext.Rescale(4000.0, 0), 2000.0);
+}
+
+TEST(IterationExtensionTest, PredictsAcrossIterationCounts) {
+  // Train the main model at 6 iterations, the extension over {3, 6, 12},
+  // then predict a 24-iteration run.
+  const auto w = workloads::GetWorkload("lor").value();
+  JugglerConfig config;
+  config.time_grid = TrainingGrid{{4000, 8000, 16000}, {1000, 2000, 4000}, 6};
+  config.memory_reference = w.paper_params;
+  config.run_options.noise_sigma = 0.0;
+  config.run_options.straggler_prob = 0.0;
+  auto training = TrainJuggler("lor", w.make, config);
+  ASSERT_TRUE(training.ok());
+  const auto& trained = training->trained;
+
+  const AppParams reference{12000, 3000, 6};
+  auto ext = BuildIterationExtension(
+      w.make, trained.schedules().front(), trained.sizes(),
+      trained.memory().memory_factor, PaperCluster(1), reference, {3, 6, 12},
+      config.run_options);
+  ASSERT_TRUE(ext.ok()) << ext.status().ToString();
+  EXPECT_GT(ext->b, 0.0);  // More iterations take longer.
+
+  const int target_iterations = 24;
+  auto recs = trained.RecommendAll(AppParams{12000, 3000, 6}, PaperCluster(1));
+  ASSERT_TRUE(recs.ok());
+  const auto& rec = recs->front();
+  const double predicted =
+      ext->Rescale(rec.predicted_time_ms, target_iterations);
+
+  minispark::Engine engine(config.run_options);
+  auto actual =
+      engine.Run(w.make(AppParams{12000, 3000, target_iterations}),
+                 PaperCluster(rec.machines), rec.plan);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_GT(math::PredictionAccuracy(predicted, actual->duration_ms), 0.8)
+      << "predicted " << predicted << " actual " << actual->duration_ms;
+  // Without the extension, the fixed-iteration model is far off.
+  EXPECT_LT(math::PredictionAccuracy(rec.predicted_time_ms,
+                                     actual->duration_ms),
+            0.6);
+}
+
+TEST(IterationExtensionTest, RejectsTooFewCounts) {
+  const auto training = TrainSmall("pca");
+  auto ext = BuildIterationExtension(
+      workloads::GetWorkload("pca")->make, training.trained.schedules().front(),
+      training.trained.sizes(), 1.0, PaperCluster(1), AppParams{4000, 800, 5},
+      {5}, minispark::RunOptions{});
+  EXPECT_FALSE(ext.ok());
+}
+
+}  // namespace
+}  // namespace juggler::core

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/sizing_baselines.h"
+#include "common/units.h"
+#include "core/memory_calibration.h"
+
+namespace juggler::baselines {
+namespace {
+
+SizingInputs SvmLikeInputs() {
+  SizingInputs in;
+  in.schedule_bytes = GiB(35.6);
+  in.input_bytes = GiB(22.2);
+  in.output_bytes = MiB(1);
+  in.exec_fraction = 0.20;
+  in.machine_type = minispark::PaperCluster(1);
+  return in;
+}
+
+TEST(SizingBaselinesTest, RegistryOrder) {
+  const auto all = AllSizingBaselines();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].name, "MemTune");
+  EXPECT_EQ(all[1].name, "RelM");
+  EXPECT_EQ(all[2].name, "SystemML");
+}
+
+TEST(SizingBaselinesTest, MemTuneUnderProvisionsExecLightApps) {
+  SizingInputs in = SvmLikeInputs();
+  in.exec_fraction = 0.05;  // Looks execution-light online.
+  // Budgets all of M: fewer machines than Juggler's factor-corrected count.
+  const int memtune = MemTuneMachines(in);
+  const int juggler = core::RecommendMachines(in.schedule_bytes,
+                                              in.machine_type, 0.8);
+  EXPECT_LT(memtune, juggler);
+}
+
+TEST(SizingBaselinesTest, MemTuneOverAllocatesExecHeavyApps) {
+  const SizingInputs in = SvmLikeInputs();  // exec 20 % -> reserves 36 %.
+  const int memtune = MemTuneMachines(in);
+  const int juggler =
+      core::RecommendMachines(in.schedule_bytes, in.machine_type, 0.8);
+  EXPECT_GT(memtune, juggler);
+}
+
+TEST(SizingBaselinesTest, RelMOverAllocatesViaSafetyFactor) {
+  const SizingInputs in = SvmLikeInputs();
+  const int relm = RelMMachines(in);
+  const int juggler =
+      core::RecommendMachines(in.schedule_bytes, in.machine_type, 0.8);
+  // The paper: "RelM recommends more machines than all others".
+  EXPECT_GT(relm, juggler);
+  EXPECT_GE(relm, MemTuneMachines(in));
+  EXPECT_GE(relm, SystemMlMachines(in));
+}
+
+TEST(SizingBaselinesTest, SystemMlFitsInputAndOutputToo) {
+  const SizingInputs in = SvmLikeInputs();
+  const int sysml = SystemMlMachines(in);
+  const int cache_only = static_cast<int>(
+      std::ceil(in.schedule_bytes /
+                in.machine_type.UnifiedMemoryPerMachine()));
+  EXPECT_GT(sysml, cache_only);
+}
+
+TEST(SizingBaselinesTest, AllReturnAtLeastOneMachine) {
+  SizingInputs tiny;
+  tiny.schedule_bytes = 0;
+  tiny.machine_type = minispark::PaperCluster(1);
+  for (const auto& b : AllSizingBaselines()) {
+    EXPECT_EQ(b.recommend(tiny), 1) << b.name;
+  }
+}
+
+TEST(SizingBaselinesTest, ScaleWithScheduleBytes) {
+  SizingInputs in = SvmLikeInputs();
+  for (const auto& b : AllSizingBaselines()) {
+    const int small = b.recommend(in);
+    SizingInputs bigger = in;
+    bigger.schedule_bytes *= 2;
+    bigger.input_bytes *= 2;
+    EXPECT_GT(b.recommend(bigger), small) << b.name;
+  }
+}
+
+}  // namespace
+}  // namespace juggler::baselines

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::workloads {
+namespace {
+
+using minispark::ComputationCounts;
+using minispark::Validate;
+
+TEST(WorkloadsTest, RegistryHasFiveApplications) {
+  const auto& all = AllWorkloads();
+  ASSERT_EQ(all.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& w : all) names.insert(w.name);
+  EXPECT_EQ(names, (std::set<std::string>{"lir", "lor", "pca", "rfc", "svm"}));
+}
+
+TEST(WorkloadsTest, GetWorkloadByName) {
+  EXPECT_TRUE(GetWorkload("svm").ok());
+  EXPECT_EQ(GetWorkload("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(WorkloadsTest, AllValidateAtPaperAndSampleParams) {
+  for (const auto& w : AllWorkloads()) {
+    EXPECT_TRUE(Validate(w.make(w.paper_params)).ok()) << w.name;
+    EXPECT_TRUE(Validate(w.make(AppParams{1000, 200, 1})).ok()) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, InputSizesMatchTableOne) {
+  // Table 1: LIR 35.8 GB, LOR 26.1 GB, PCA 229.2 MB, RFC 29.8 GB,
+  // SVM 23.8 GB (dataset 0 is always the HDFS input).
+  const std::map<std::string, double> expected = {
+      {"lir", 35.8e9}, {"lor", 26.1e9}, {"pca", 229.2e6},
+      {"rfc", 29.8e9}, {"svm", 23.8e9}};
+  for (const auto& w : AllWorkloads()) {
+    const auto app = w.make(w.paper_params);
+    EXPECT_NEAR(app.dataset(0).bytes, expected.at(w.name),
+                0.03 * expected.at(w.name))
+        << w.name;
+  }
+}
+
+TEST(WorkloadsTest, DatasetCountsScaleWithIterationsLikeTableOne) {
+  // Table 1 dataset totals (111/210/1833/26/524) come from per-iteration
+  // RDD creation; check ours land within 20 % at the paper's iterations.
+  const std::map<std::string, int> expected = {
+      {"lir", 111}, {"lor", 210}, {"pca", 1833}, {"rfc", 26}, {"svm", 524}};
+  for (const auto& w : AllWorkloads()) {
+    const auto app = w.make(w.paper_params);
+    const double rel =
+        std::abs(app.num_datasets() - expected.at(w.name)) /
+        static_cast<double>(expected.at(w.name));
+    EXPECT_LT(rel, 0.2) << w.name << " has " << app.num_datasets()
+                        << " datasets, Table 1 says " << expected.at(w.name);
+  }
+}
+
+TEST(WorkloadsTest, IntermediateDatasetCountsAreSmall) {
+  // Table 1: intermediates are few (4-16) regardless of iteration count.
+  for (const auto& w : AllWorkloads()) {
+    const auto app = w.make(w.paper_params);
+    const auto counts = ComputationCounts(app);
+    int intermediates = 0;
+    for (long long n : counts) {
+      if (n > 1) ++intermediates;
+    }
+    EXPECT_GE(intermediates, 3) << w.name;
+    EXPECT_LE(intermediates, 20) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, IntermediatesDoNotGrowWithIterations) {
+  for (const auto& w : AllWorkloads()) {
+    auto intermediates = [&](int iters) {
+      AppParams p = w.paper_params;
+      p.iterations = iters;
+      const auto counts = ComputationCounts(w.make(p));
+      int n = 0;
+      for (long long c : counts) {
+        if (c > 1) ++n;
+      }
+      return n;
+    };
+    EXPECT_EQ(intermediates(2), intermediates(6)) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, DefaultPlansMatchHiBench) {
+  // LIR caches nothing; the others cache at least one dataset.
+  EXPECT_TRUE(GetWorkload("lir")->make(AppParams{1000, 200, 2})
+                  .default_plan.empty());
+  for (const std::string name : {"lor", "pca", "rfc", "svm"}) {
+    const auto app = GetWorkload(name)->make(AppParams{1000, 200, 2});
+    EXPECT_FALSE(app.default_plan.empty()) << name;
+    for (const auto& op : app.default_plan.ops) {
+      EXPECT_EQ(op.kind, minispark::CacheOp::Kind::kPersist) << name;
+    }
+  }
+  // LOR's developers cache two datasets (labeled + MLlib-internal scaled).
+  EXPECT_EQ(GetWorkload("lor")->make(AppParams{1000, 200, 2})
+                .default_plan.PersistedDatasets()
+                .size(),
+            2u);
+}
+
+TEST(WorkloadsTest, SvmCachedDatasetMatchesPaperSize) {
+  // The paper's SVM developer-cached dataset is 35.7 GB at 40k x 80k.
+  const auto w = GetWorkload("svm").value();
+  const auto app = w.make(w.paper_params);
+  const auto cached = app.default_plan.PersistedDatasets();
+  ASSERT_EQ(cached.size(), 1u);
+  EXPECT_NEAR(ToGiB(app.dataset(cached[0]).bytes), 35.6, 0.5);
+}
+
+TEST(WorkloadsTest, StableDatasetIdsAcrossParameters) {
+  // Juggler keys its models by dataset id: prep datasets must keep their
+  // ids when parameters (including iterations) change.
+  for (const auto& w : AllWorkloads()) {
+    const auto a = w.make(AppParams{1000, 200, 2});
+    const auto b = w.make(AppParams{4000, 800, 7});
+    const int common = std::min(a.num_datasets(), b.num_datasets());
+    int stable_prefix = 0;
+    for (int i = 0; i < common; ++i) {
+      if (a.dataset(i).name != b.dataset(i).name) break;
+      ++stable_prefix;
+    }
+    // All shared prep datasets precede iteration-dependent ones.
+    EXPECT_GE(stable_prefix, 8) << w.name;
+    for (int i = 0; i < stable_prefix; ++i) {
+      EXPECT_EQ(a.dataset(i).parents, b.dataset(i).parents) << w.name;
+    }
+  }
+}
+
+TEST(WorkloadsTest, SizesScaleLinearlyInExamples) {
+  for (const auto& w : AllWorkloads()) {
+    const auto a = w.make(AppParams{1000, 200, 2});
+    const auto b = w.make(AppParams{2000, 200, 2});
+    EXPECT_NEAR(b.dataset(1).bytes / a.dataset(1).bytes, 2.0, 0.01) << w.name;
+  }
+}
+
+TEST(WorkloadsTest, JobCountScalesWithIterations) {
+  for (const auto& w : AllWorkloads()) {
+    const auto a = w.make(AppParams{1000, 200, 2});
+    const auto b = w.make(AppParams{1000, 200, 5});
+    EXPECT_EQ(b.jobs.size() - a.jobs.size(), 3u) << w.name;
+  }
+}
+
+class RandomAppTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomAppTest, GeneratedAppsAreValidAndRunnable) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 131 + 17);
+  RandomAppOptions opts;
+  opts.num_jobs = 4;
+  const auto app = MakeRandomApplication(&rng, opts);
+  ASSERT_TRUE(Validate(app).ok());
+  minispark::Engine engine{minispark::RunOptions{}};
+  auto r = engine.RunDefault(app, minispark::PaperCluster(2));
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->duration_ms, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomAppTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace juggler::workloads
