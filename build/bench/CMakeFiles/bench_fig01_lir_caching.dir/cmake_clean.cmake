@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_lir_caching.dir/bench_fig01_lir_caching.cpp.o"
+  "CMakeFiles/bench_fig01_lir_caching.dir/bench_fig01_lir_caching.cpp.o.d"
+  "bench_fig01_lir_caching"
+  "bench_fig01_lir_caching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_lir_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

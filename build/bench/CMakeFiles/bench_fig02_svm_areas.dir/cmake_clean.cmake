@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_svm_areas.dir/bench_fig02_svm_areas.cpp.o"
+  "CMakeFiles/bench_fig02_svm_areas.dir/bench_fig02_svm_areas.cpp.o.d"
+  "bench_fig02_svm_areas"
+  "bench_fig02_svm_areas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_svm_areas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

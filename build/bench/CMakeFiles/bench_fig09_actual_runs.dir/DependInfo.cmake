@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig09_actual_runs.cpp" "bench/CMakeFiles/bench_fig09_actual_runs.dir/bench_fig09_actual_runs.cpp.o" "gcc" "bench/CMakeFiles/bench_fig09_actual_runs.dir/bench_fig09_actual_runs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/juggler_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/juggler_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/juggler_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/minispark/CMakeFiles/juggler_minispark.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/juggler_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/juggler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

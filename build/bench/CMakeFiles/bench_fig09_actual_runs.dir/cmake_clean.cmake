@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_actual_runs.dir/bench_fig09_actual_runs.cpp.o"
+  "CMakeFiles/bench_fig09_actual_runs.dir/bench_fig09_actual_runs.cpp.o.d"
+  "bench_fig09_actual_runs"
+  "bench_fig09_actual_runs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_actual_runs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_dataset_selection.dir/bench_fig10_dataset_selection.cpp.o"
+  "CMakeFiles/bench_fig10_dataset_selection.dir/bench_fig10_dataset_selection.cpp.o.d"
+  "bench_fig10_dataset_selection"
+  "bench_fig10_dataset_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_dataset_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

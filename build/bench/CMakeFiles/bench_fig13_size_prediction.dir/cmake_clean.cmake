@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_size_prediction.dir/bench_fig13_size_prediction.cpp.o"
+  "CMakeFiles/bench_fig13_size_prediction.dir/bench_fig13_size_prediction.cpp.o.d"
+  "bench_fig13_size_prediction"
+  "bench_fig13_size_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_size_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_cluster_config.dir/bench_fig14_cluster_config.cpp.o"
+  "CMakeFiles/bench_fig14_cluster_config.dir/bench_fig14_cluster_config.cpp.o.d"
+  "bench_fig14_cluster_config"
+  "bench_fig14_cluster_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_cluster_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_sizing_baselines.dir/bench_fig15_sizing_baselines.cpp.o"
+  "CMakeFiles/bench_fig15_sizing_baselines.dir/bench_fig15_sizing_baselines.cpp.o.d"
+  "bench_fig15_sizing_baselines"
+  "bench_fig15_sizing_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_sizing_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

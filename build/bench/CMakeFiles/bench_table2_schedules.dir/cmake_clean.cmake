@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_schedules.dir/bench_table2_schedules.cpp.o"
+  "CMakeFiles/bench_table2_schedules.dir/bench_table2_schedules.cpp.o.d"
+  "bench_table2_schedules"
+  "bench_table2_schedules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_schedules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

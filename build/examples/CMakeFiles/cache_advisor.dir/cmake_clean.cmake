@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_advisor.dir/cache_advisor.cpp.o"
+  "CMakeFiles/cache_advisor.dir/cache_advisor.cpp.o.d"
+  "cache_advisor"
+  "cache_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_sizing.dir/cluster_sizing.cpp.o"
+  "CMakeFiles/cluster_sizing.dir/cluster_sizing.cpp.o.d"
+  "cluster_sizing"
+  "cluster_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

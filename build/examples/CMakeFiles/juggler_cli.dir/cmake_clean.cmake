@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_cli.dir/juggler_cli.cpp.o"
+  "CMakeFiles/juggler_cli.dir/juggler_cli.cpp.o.d"
+  "juggler_cli"
+  "juggler_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_prediction.dir/whatif_prediction.cpp.o"
+  "CMakeFiles/whatif_prediction.dir/whatif_prediction.cpp.o.d"
+  "whatif_prediction"
+  "whatif_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

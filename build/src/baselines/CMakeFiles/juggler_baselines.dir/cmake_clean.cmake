@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_baselines.dir/cache_baselines.cc.o"
+  "CMakeFiles/juggler_baselines.dir/cache_baselines.cc.o.d"
+  "CMakeFiles/juggler_baselines.dir/ernest.cc.o"
+  "CMakeFiles/juggler_baselines.dir/ernest.cc.o.d"
+  "CMakeFiles/juggler_baselines.dir/sizing_baselines.cc.o"
+  "CMakeFiles/juggler_baselines.dir/sizing_baselines.cc.o.d"
+  "libjuggler_baselines.a"
+  "libjuggler_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/status.cc" "src/common/CMakeFiles/juggler_common.dir/status.cc.o" "gcc" "src/common/CMakeFiles/juggler_common.dir/status.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/common/CMakeFiles/juggler_common.dir/table_printer.cc.o" "gcc" "src/common/CMakeFiles/juggler_common.dir/table_printer.cc.o.d"
+  "/root/repo/src/common/units.cc" "src/common/CMakeFiles/juggler_common.dir/units.cc.o" "gcc" "src/common/CMakeFiles/juggler_common.dir/units.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

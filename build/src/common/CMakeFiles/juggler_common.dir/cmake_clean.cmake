@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_common.dir/status.cc.o"
+  "CMakeFiles/juggler_common.dir/status.cc.o.d"
+  "CMakeFiles/juggler_common.dir/table_printer.cc.o"
+  "CMakeFiles/juggler_common.dir/table_printer.cc.o.d"
+  "CMakeFiles/juggler_common.dir/units.cc.o"
+  "CMakeFiles/juggler_common.dir/units.cc.o.d"
+  "libjuggler_common.a"
+  "libjuggler_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset_metrics.cc" "src/core/CMakeFiles/juggler_core.dir/dataset_metrics.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/dataset_metrics.cc.o.d"
+  "/root/repo/src/core/exec_time_model.cc" "src/core/CMakeFiles/juggler_core.dir/exec_time_model.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/exec_time_model.cc.o.d"
+  "/root/repo/src/core/hotspot.cc" "src/core/CMakeFiles/juggler_core.dir/hotspot.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/hotspot.cc.o.d"
+  "/root/repo/src/core/juggler.cc" "src/core/CMakeFiles/juggler_core.dir/juggler.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/juggler.cc.o.d"
+  "/root/repo/src/core/machine_adaptation.cc" "src/core/CMakeFiles/juggler_core.dir/machine_adaptation.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/machine_adaptation.cc.o.d"
+  "/root/repo/src/core/memory_calibration.cc" "src/core/CMakeFiles/juggler_core.dir/memory_calibration.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/memory_calibration.cc.o.d"
+  "/root/repo/src/core/parameter_calibration.cc" "src/core/CMakeFiles/juggler_core.dir/parameter_calibration.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/parameter_calibration.cc.o.d"
+  "/root/repo/src/core/recommender.cc" "src/core/CMakeFiles/juggler_core.dir/recommender.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/recommender.cc.o.d"
+  "/root/repo/src/core/schedule.cc" "src/core/CMakeFiles/juggler_core.dir/schedule.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/schedule.cc.o.d"
+  "/root/repo/src/core/serialization.cc" "src/core/CMakeFiles/juggler_core.dir/serialization.cc.o" "gcc" "src/core/CMakeFiles/juggler_core.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/minispark/CMakeFiles/juggler_minispark.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/juggler_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/juggler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_core.dir/dataset_metrics.cc.o"
+  "CMakeFiles/juggler_core.dir/dataset_metrics.cc.o.d"
+  "CMakeFiles/juggler_core.dir/exec_time_model.cc.o"
+  "CMakeFiles/juggler_core.dir/exec_time_model.cc.o.d"
+  "CMakeFiles/juggler_core.dir/hotspot.cc.o"
+  "CMakeFiles/juggler_core.dir/hotspot.cc.o.d"
+  "CMakeFiles/juggler_core.dir/juggler.cc.o"
+  "CMakeFiles/juggler_core.dir/juggler.cc.o.d"
+  "CMakeFiles/juggler_core.dir/machine_adaptation.cc.o"
+  "CMakeFiles/juggler_core.dir/machine_adaptation.cc.o.d"
+  "CMakeFiles/juggler_core.dir/memory_calibration.cc.o"
+  "CMakeFiles/juggler_core.dir/memory_calibration.cc.o.d"
+  "CMakeFiles/juggler_core.dir/parameter_calibration.cc.o"
+  "CMakeFiles/juggler_core.dir/parameter_calibration.cc.o.d"
+  "CMakeFiles/juggler_core.dir/recommender.cc.o"
+  "CMakeFiles/juggler_core.dir/recommender.cc.o.d"
+  "CMakeFiles/juggler_core.dir/schedule.cc.o"
+  "CMakeFiles/juggler_core.dir/schedule.cc.o.d"
+  "CMakeFiles/juggler_core.dir/serialization.cc.o"
+  "CMakeFiles/juggler_core.dir/serialization.cc.o.d"
+  "libjuggler_core.a"
+  "libjuggler_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

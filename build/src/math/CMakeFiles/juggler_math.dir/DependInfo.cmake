@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/linear_model.cc" "src/math/CMakeFiles/juggler_math.dir/linear_model.cc.o" "gcc" "src/math/CMakeFiles/juggler_math.dir/linear_model.cc.o.d"
+  "/root/repo/src/math/nnls.cc" "src/math/CMakeFiles/juggler_math.dir/nnls.cc.o" "gcc" "src/math/CMakeFiles/juggler_math.dir/nnls.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/juggler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

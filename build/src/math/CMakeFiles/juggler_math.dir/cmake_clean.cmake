@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_math.dir/linear_model.cc.o"
+  "CMakeFiles/juggler_math.dir/linear_model.cc.o.d"
+  "CMakeFiles/juggler_math.dir/nnls.cc.o"
+  "CMakeFiles/juggler_math.dir/nnls.cc.o.d"
+  "libjuggler_math.a"
+  "libjuggler_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for juggler_math.
+# This may be replaced when dependencies are built.

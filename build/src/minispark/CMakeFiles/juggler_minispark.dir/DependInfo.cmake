@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minispark/application.cc" "src/minispark/CMakeFiles/juggler_minispark.dir/application.cc.o" "gcc" "src/minispark/CMakeFiles/juggler_minispark.dir/application.cc.o.d"
+  "/root/repo/src/minispark/cache_plan.cc" "src/minispark/CMakeFiles/juggler_minispark.dir/cache_plan.cc.o" "gcc" "src/minispark/CMakeFiles/juggler_minispark.dir/cache_plan.cc.o.d"
+  "/root/repo/src/minispark/cluster.cc" "src/minispark/CMakeFiles/juggler_minispark.dir/cluster.cc.o" "gcc" "src/minispark/CMakeFiles/juggler_minispark.dir/cluster.cc.o.d"
+  "/root/repo/src/minispark/engine.cc" "src/minispark/CMakeFiles/juggler_minispark.dir/engine.cc.o" "gcc" "src/minispark/CMakeFiles/juggler_minispark.dir/engine.cc.o.d"
+  "/root/repo/src/minispark/memory_manager.cc" "src/minispark/CMakeFiles/juggler_minispark.dir/memory_manager.cc.o" "gcc" "src/minispark/CMakeFiles/juggler_minispark.dir/memory_manager.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/juggler_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

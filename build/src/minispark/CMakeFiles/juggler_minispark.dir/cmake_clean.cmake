@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_minispark.dir/application.cc.o"
+  "CMakeFiles/juggler_minispark.dir/application.cc.o.d"
+  "CMakeFiles/juggler_minispark.dir/cache_plan.cc.o"
+  "CMakeFiles/juggler_minispark.dir/cache_plan.cc.o.d"
+  "CMakeFiles/juggler_minispark.dir/cluster.cc.o"
+  "CMakeFiles/juggler_minispark.dir/cluster.cc.o.d"
+  "CMakeFiles/juggler_minispark.dir/engine.cc.o"
+  "CMakeFiles/juggler_minispark.dir/engine.cc.o.d"
+  "CMakeFiles/juggler_minispark.dir/memory_manager.cc.o"
+  "CMakeFiles/juggler_minispark.dir/memory_manager.cc.o.d"
+  "libjuggler_minispark.a"
+  "libjuggler_minispark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_minispark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

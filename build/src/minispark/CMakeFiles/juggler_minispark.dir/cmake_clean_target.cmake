@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjuggler_minispark.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for juggler_minispark.
+# This may be replaced when dependencies are built.

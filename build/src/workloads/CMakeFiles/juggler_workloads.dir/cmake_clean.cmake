@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/juggler_workloads.dir/workloads.cc.o"
+  "CMakeFiles/juggler_workloads.dir/workloads.cc.o.d"
+  "libjuggler_workloads.a"
+  "libjuggler_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/juggler_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/application_test.dir/application_test.cc.o"
+  "CMakeFiles/application_test.dir/application_test.cc.o.d"
+  "application_test"
+  "application_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/application_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_baselines_test.dir/cache_baselines_test.cc.o"
+  "CMakeFiles/cache_baselines_test.dir/cache_baselines_test.cc.o.d"
+  "cache_baselines_test"
+  "cache_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

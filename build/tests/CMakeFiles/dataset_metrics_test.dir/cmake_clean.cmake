@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataset_metrics_test.dir/dataset_metrics_test.cc.o"
+  "CMakeFiles/dataset_metrics_test.dir/dataset_metrics_test.cc.o.d"
+  "dataset_metrics_test"
+  "dataset_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

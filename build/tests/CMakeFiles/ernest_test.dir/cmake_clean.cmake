@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ernest_test.dir/ernest_test.cc.o"
+  "CMakeFiles/ernest_test.dir/ernest_test.cc.o.d"
+  "ernest_test"
+  "ernest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ernest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_test.dir/hotspot_test.cc.o"
+  "CMakeFiles/hotspot_test.dir/hotspot_test.cc.o.d"
+  "hotspot_test"
+  "hotspot_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_model_test.dir/linear_model_test.cc.o"
+  "CMakeFiles/linear_model_test.dir/linear_model_test.cc.o.d"
+  "linear_model_test"
+  "linear_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/machine_adaptation_test.dir/machine_adaptation_test.cc.o"
+  "CMakeFiles/machine_adaptation_test.dir/machine_adaptation_test.cc.o.d"
+  "machine_adaptation_test"
+  "machine_adaptation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/machine_adaptation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_manager_test.dir/memory_manager_test.cc.o"
+  "CMakeFiles/memory_manager_test.dir/memory_manager_test.cc.o.d"
+  "memory_manager_test"
+  "memory_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

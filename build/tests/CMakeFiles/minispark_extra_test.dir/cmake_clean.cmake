@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minispark_extra_test.dir/minispark_extra_test.cc.o"
+  "CMakeFiles/minispark_extra_test.dir/minispark_extra_test.cc.o.d"
+  "minispark_extra_test"
+  "minispark_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minispark_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

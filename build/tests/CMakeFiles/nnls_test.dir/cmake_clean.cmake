@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nnls_test.dir/nnls_test.cc.o"
+  "CMakeFiles/nnls_test.dir/nnls_test.cc.o.d"
+  "nnls_test"
+  "nnls_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nnls_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

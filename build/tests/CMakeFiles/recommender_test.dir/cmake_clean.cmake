@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recommender_test.dir/recommender_test.cc.o"
+  "CMakeFiles/recommender_test.dir/recommender_test.cc.o.d"
+  "recommender_test"
+  "recommender_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recommender_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

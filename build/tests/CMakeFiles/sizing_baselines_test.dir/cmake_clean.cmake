@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sizing_baselines_test.dir/sizing_baselines_test.cc.o"
+  "CMakeFiles/sizing_baselines_test.dir/sizing_baselines_test.cc.o.d"
+  "sizing_baselines_test"
+  "sizing_baselines_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sizing_baselines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
