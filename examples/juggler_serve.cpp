@@ -1,0 +1,204 @@
+// juggler_serve: the online serving subsystem as an interactive CLI — a
+// stand-in for the socket front end a production deployment would put in
+// front of RecommendationService.
+//
+//   juggler_serve <model-dir> [--train] [--workers N]
+//
+// With --train, any of the five paper workloads missing from <model-dir> is
+// trained offline first (§5.1-§5.4) and saved as <app>.model. The registry
+// then serves queries read from stdin, one per line:
+//
+//   <app> <examples> <features> [iterations] [machine-GB]   answer a query
+//   reload      re-scan the model directory (hot, never blocks requests)
+//   stats       cache hit rate, latency percentiles, registry version
+//   apps        list registered applications
+//   quit        exit
+//
+// Example session:
+//   $ juggler_serve /tmp/models --train
+//   > svm 40000 80000
+//   > stats
+//   > quit
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/table_printer.h"
+#include "common/units.h"
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+#include "workloads/workloads.h"
+
+using namespace juggler;  // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+
+int Usage() {
+  std::cerr << "usage: juggler_serve <model-dir> [--train] [--workers N]\n"
+               "stdin commands: <app> <examples> <features> [iterations] "
+               "[machine-GB] | reload | stats | apps | quit\n";
+  return 2;
+}
+
+/// Trains every paper workload missing from `dir` (the juggler_cli training
+/// recipe: 0.4x-1x of the paper's parameters).
+int TrainMissing(const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const auto& w : workloads::AllWorkloads()) {
+    const fs::path path = dir / (w.name + service::ModelRegistry::kModelSuffix);
+    if (fs::exists(path)) {
+      std::printf("have    %s\n", path.c_str());
+      continue;
+    }
+    core::JugglerConfig config;
+    config.time_grid = core::TrainingGrid{
+        {0.4 * w.paper_params.examples, 0.7 * w.paper_params.examples,
+         w.paper_params.examples},
+        {0.4 * w.paper_params.features, 0.7 * w.paper_params.features,
+         w.paper_params.features},
+        w.paper_params.iterations};
+    config.memory_reference = w.paper_params;
+    std::printf("training %s (four offline stages)...\n", w.name.c_str());
+    auto training = core::TrainJuggler(w.name, w.make, config);
+    if (!training.ok()) {
+      std::fprintf(stderr, "training %s failed: %s\n", w.name.c_str(),
+                   training.status().ToString().c_str());
+      return 1;
+    }
+    std::ofstream out(path);
+    if (auto st = core::SaveTrainedJuggler(training->trained, out);
+        !st.ok() || !out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("trained %s (%zu schedules, %.1f machine-min)\n", path.c_str(),
+                training->trained.schedules().size(), training->costs.Total());
+  }
+  return 0;
+}
+
+void PrintResponse(const service::RecommendRequest& request,
+                   const service::RecommendResponse& response) {
+  std::printf("%s @ examples=%g features=%g iterations=%d [%s, model v%llu]\n",
+              request.app.c_str(), request.params.examples,
+              request.params.features, request.params.iterations,
+              response.cache_hit ? "cache hit" : "evaluated",
+              static_cast<unsigned long long>(response.model_version));
+  TablePrinter table({"Schedule", "Plan", "Cached size", "#Machines",
+                      "Pred. time", "Pred. cost (machine min)"});
+  for (const auto& r : *response.recommendations) {
+    table.AddRow({"#" + std::to_string(r.schedule_id), r.plan.ToString(),
+                  FormatBytes(r.predicted_bytes), std::to_string(r.machines),
+                  FormatTime(r.predicted_time_ms),
+                  TablePrinter::Num(r.predicted_cost_machine_min)});
+  }
+  table.Print(std::cout);
+}
+
+void PrintStats(const service::RecommendationService::Stats& stats,
+                uint64_t registry_version, size_t registry_size) {
+  std::printf(
+      "registry v%llu (%zu models) | requests %llu | hit rate %.1f %% | "
+      "evaluations %llu | rejected %llu\n",
+      static_cast<unsigned long long>(registry_version), registry_size,
+      static_cast<unsigned long long>(stats.latency.count),
+      100.0 * stats.cache.HitRate(),
+      static_cast<unsigned long long>(stats.evaluations),
+      static_cast<unsigned long long>(stats.rejected));
+  std::printf("latency: p50 %.1f us | p95 %.1f us | max %.1f us | mean %.1f us\n",
+              stats.latency.p50_us, stats.latency.p95_us, stats.latency.max_us,
+              stats.latency.MeanUs());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const fs::path model_dir = argv[1];
+  bool train = false;
+  int workers = 4;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--train") {
+      train = true;
+    } else if (arg == "--workers" && i + 1 < argc) {
+      workers = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+
+  if (train) {
+    if (int rc = TrainMissing(model_dir); rc != 0) return rc;
+  }
+
+  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string());
+  if (auto st = registry->Refresh(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  service::RecommendationService::Options options;
+  options.num_workers = workers;
+  service::RecommendationService svc(registry, options);
+
+  std::printf("serving %zu model(s) from %s — try: svm 40000 80000\n",
+              registry->size(), model_dir.c_str());
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string command;
+    if (!(in >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "reload") {
+      if (auto st = registry->Refresh(); !st.ok()) {
+        std::printf("reload failed (old models stay active): %s\n",
+                    st.ToString().c_str());
+      } else {
+        std::printf("registry v%llu: %zu model(s)\n",
+                    static_cast<unsigned long long>(registry->version()),
+                    registry->size());
+      }
+      continue;
+    }
+    if (command == "stats") {
+      PrintStats(svc.GetStats(), registry->version(), registry->size());
+      continue;
+    }
+    if (command == "apps") {
+      for (const auto& name : registry->AppNames()) {
+        std::printf("  %s\n", name.c_str());
+      }
+      continue;
+    }
+
+    service::RecommendRequest request;
+    request.app = command;
+    int iterations = 1;
+    double machine_gb = 12.0;
+    if (!(in >> request.params.examples >> request.params.features)) {
+      std::printf("expected: <app> <examples> <features> [iterations] "
+                  "[machine-GB]\n");
+      continue;
+    }
+    in >> iterations >> machine_gb;
+    request.params.iterations = iterations;
+    request.machine_type = minispark::PaperCluster(1);
+    request.machine_type.executor_memory_bytes = GiB(machine_gb);
+
+    auto response = svc.Recommend(request);
+    if (!response.ok()) {
+      std::printf("%s\n", response.status().ToString().c_str());
+      continue;
+    }
+    PrintResponse(request, *response);
+  }
+  return 0;
+}

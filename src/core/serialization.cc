@@ -103,7 +103,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
   {
     auto line = NextLine(in, "app");
     if (!line.ok()) return line.status();
-    *line >> app_name;
+    if (!(*line >> app_name)) {
+      return Status::InvalidArgument("missing app name");
+    }
   }
   MemoryCalibration memory;
   {
@@ -118,7 +120,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
   {
     auto line = NextLine(in, "schedules");
     if (!line.ok()) return line.status();
-    *line >> num_schedules;
+    if (!(*line >> num_schedules)) {
+      return Status::InvalidArgument("bad schedules count");
+    }
   }
   std::vector<Schedule> schedules;
   for (size_t i = 0; i < num_schedules; ++i) {
@@ -134,7 +138,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
       auto line = NextLine(in, "datasets");
       if (!line.ok()) return line.status();
       size_t count = 0;
-      *line >> count;
+      if (!(*line >> count)) {
+        return Status::InvalidArgument("bad datasets count");
+      }
       s.datasets.resize(count);
       for (size_t k = 0; k < count; ++k) {
         if (!(*line >> s.datasets[k])) {
@@ -163,7 +169,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
     auto line = NextLine(in, "size_models");
     if (!line.ok()) return line.status();
     size_t count = 0;
-    *line >> count;
+    if (!(*line >> count)) {
+      return Status::InvalidArgument("bad size_models count");
+    }
     for (size_t i = 0; i < count; ++i) {
       auto model_line = NextLine(in, "size_model");
       if (!model_line.ok()) return model_line.status();
@@ -182,7 +190,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
     auto line = NextLine(in, "time_models");
     if (!line.ok()) return line.status();
     size_t count = 0;
-    *line >> count;
+    if (!(*line >> count)) {
+      return Status::InvalidArgument("bad time_models count");
+    }
     if (count != schedules.size()) {
       return Status::InvalidArgument(
           "time model count does not match schedule count");
@@ -193,6 +203,19 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
       auto model = ReadModel(*model_line);
       if (!model.ok()) return model.status();
       time_models.push_back(std::move(model).value());
+    }
+  }
+
+  // A valid artifact ends exactly here. Anything further is corruption
+  // (e.g. two models concatenated, or a partially overwritten file) — the
+  // registry must reject it rather than silently drop it.
+  {
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty()) {
+        return Status::InvalidArgument("trailing garbage after model: '" +
+                                       line + "'");
+      }
     }
   }
 

@@ -1,0 +1,103 @@
+#include "service/model_registry.h"
+
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "core/serialization.h"
+
+namespace juggler::service {
+
+namespace fs = std::filesystem;
+
+ModelRegistry::ModelRegistry(std::string directory)
+    : directory_(std::move(directory)),
+      snapshot_(std::make_shared<const Snapshot>()) {}
+
+Status ModelRegistry::Refresh() {
+  std::error_code ec;
+  if (!fs::is_directory(directory_, ec)) {
+    return Status::NotFound("model directory not found: " + directory_);
+  }
+
+  // Build the replacement snapshot fully before publishing it, so concurrent
+  // Lookup() calls only ever see complete registries.
+  auto next = std::make_shared<Snapshot>();
+  std::vector<fs::path> paths;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& path = entry.path();
+    if (path.extension() != kModelSuffix) continue;
+    paths.push_back(path);
+  }
+  if (ec) {
+    return Status::NotFound("cannot scan model directory " + directory_ + ": " +
+                            ec.message());
+  }
+  for (const fs::path& path : paths) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("cannot read model artifact " + path.string());
+    }
+    auto trained = core::LoadTrainedJuggler(in);
+    if (!trained.ok()) {
+      return Status(trained.status().code(),
+                    path.string() + ": " + trained.status().message());
+    }
+    const std::string app = trained->app_name();
+    auto model =
+        std::make_shared<const core::TrainedJuggler>(std::move(trained).value());
+    if (!next->models.emplace(app, std::move(model)).second) {
+      return Status::InvalidArgument("duplicate model for app '" + app +
+                                     "' (second artifact: " + path.string() +
+                                     ")");
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  next->version = snapshot_->version + 1;
+  snapshot_ = std::move(next);
+  return Status::OK();
+}
+
+std::shared_ptr<const ModelRegistry::Snapshot> ModelRegistry::CurrentSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return snapshot_;
+}
+
+StatusOr<std::shared_ptr<const core::TrainedJuggler>> ModelRegistry::Lookup(
+    const std::string& app) const {
+  auto resolved = Resolve(app);
+  if (!resolved.ok()) return resolved.status();
+  return std::move(resolved->model);
+}
+
+StatusOr<ModelRegistry::Resolved> ModelRegistry::Resolve(
+    const std::string& app) const {
+  const auto snapshot = CurrentSnapshot();
+  auto it = snapshot->models.find(app);
+  if (it == snapshot->models.end()) {
+    std::string known;
+    for (const auto& [name, model] : snapshot->models) {
+      (known.empty() ? known : known.append(", ")).append(name);
+    }
+    return Status::NotFound("no model for app '" + app + "' (known: " +
+                            (known.empty() ? "<none>" : known) + ")");
+  }
+  return Resolved{it->second, snapshot->version};
+}
+
+std::vector<std::string> ModelRegistry::AppNames() const {
+  const auto snapshot = CurrentSnapshot();
+  std::vector<std::string> names;
+  names.reserve(snapshot->models.size());
+  for (const auto& [name, model] : snapshot->models) names.push_back(name);
+  return names;
+}
+
+uint64_t ModelRegistry::version() const { return CurrentSnapshot()->version; }
+
+size_t ModelRegistry::size() const { return CurrentSnapshot()->models.size(); }
+
+}  // namespace juggler::service

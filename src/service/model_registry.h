@@ -1,0 +1,88 @@
+#ifndef JUGGLER_SERVICE_MODEL_REGISTRY_H_
+#define JUGGLER_SERVICE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+
+namespace juggler::service {
+
+/// \brief Thread-safe registry of trained models backed by a directory of
+/// `*.model` artifacts (the files `SaveTrainedJuggler` writes).
+///
+/// The offline trainer (§5.1–§5.4) drops artifacts into the directory; the
+/// online path (§5.5) looks models up by application name. Reload semantics:
+///
+///  - `Refresh()` re-scans the directory, parses every artifact into a brand
+///    new immutable snapshot, and swaps it in atomically. It is
+///    all-or-nothing: if any artifact is malformed the old snapshot stays
+///    active and the error (InvalidArgument/NotFound from the serialization
+///    layer, tagged with the file name) is returned.
+///  - Readers are never blocked by a reload and never see a half-updated
+///    registry: `Lookup()` grabs a `shared_ptr` to the current snapshot, so
+///    in-flight requests keep using the model they resolved even while a
+///    `Refresh()` replaces it.
+///  - Each successful refresh bumps `version()`; the serving layer folds the
+///    version into cache keys so memoized predictions from a replaced model
+///    are never served.
+class ModelRegistry {
+ public:
+  /// File-name suffix of artifacts the registry scans for.
+  static constexpr const char* kModelSuffix = ".model";
+
+  explicit ModelRegistry(std::string directory);
+
+  /// Re-scans the directory. See the class comment for atomicity semantics.
+  /// A missing or unreadable directory is NotFound.
+  Status Refresh();
+
+  /// Returns the model for `app`, or NotFound (message lists known apps) if
+  /// no artifact declared that name.
+  StatusOr<std::shared_ptr<const core::TrainedJuggler>> Lookup(
+      const std::string& app) const;
+
+  /// A model together with the snapshot version it was resolved from.
+  struct Resolved {
+    std::shared_ptr<const core::TrainedJuggler> model;
+    uint64_t version = 0;
+  };
+
+  /// Like Lookup() but pairs the model with its snapshot version atomically
+  /// (a concurrent Refresh() between `Lookup()` and `version()` could
+  /// otherwise mismatch the two — and a mismatched pair poisons version-keyed
+  /// caches).
+  StatusOr<Resolved> Resolve(const std::string& app) const;
+
+  /// Registered application names, sorted.
+  std::vector<std::string> AppNames() const;
+
+  /// Snapshot version: 0 before the first successful Refresh(), then
+  /// incremented by each one.
+  uint64_t version() const;
+
+  size_t size() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  struct Snapshot {
+    uint64_t version = 0;
+    std::map<std::string, std::shared_ptr<const core::TrainedJuggler>> models;
+  };
+
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+
+  const std::string directory_;
+  mutable std::mutex mu_;  ///< Guards the snapshot pointer swap only.
+  std::shared_ptr<const Snapshot> snapshot_;
+};
+
+}  // namespace juggler::service
+
+#endif  // JUGGLER_SERVICE_MODEL_REGISTRY_H_

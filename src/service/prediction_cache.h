@@ -1,0 +1,94 @@
+#ifndef JUGGLER_SERVICE_PREDICTION_CACHE_H_
+#define JUGGLER_SERVICE_PREDICTION_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/recommender.h"
+#include "minispark/cluster.h"
+#include "minispark/types.h"
+
+namespace juggler::service {
+
+/// \brief Bounded, sharded LRU cache memoizing `TrainedJuggler::Recommend()`
+/// results for the online path (§5.5).
+///
+/// The online path is pure model evaluation, and recurring applications (the
+/// paper's target scenario) re-ask the same (app, parameters, machine type)
+/// question many times — a memo table turns those repeats into a hash
+/// lookup. Keys are exact byte fingerprints (no float-to-text rounding), so
+/// a hit returns bit-identical results to re-evaluating the model. Sharding
+/// keeps lock hold times short under concurrent clients; each shard is an
+/// independent LRU with capacity/num_shards entries.
+class PredictionCache {
+ public:
+  struct Options {
+    size_t capacity = 4096;  ///< Total entries across all shards.
+    int num_shards = 8;
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t size = 0;
+
+    double HitRate() const {
+      const uint64_t total = hits + misses;
+      return total > 0 ? static_cast<double>(hits) / total : 0.0;
+    }
+  };
+
+  /// Cached recommendations are shared immutable snapshots: a hit hands the
+  /// caller a reference, never a copy of the vector.
+  using Value = std::shared_ptr<const std::vector<core::Recommendation>>;
+
+  explicit PredictionCache(const Options& options);
+
+  /// Returns the cached value and refreshes its recency, or nullptr on miss.
+  Value Get(const std::string& key);
+
+  /// Inserts (or refreshes) `key`, evicting the shard's least recently used
+  /// entry when the shard is at capacity.
+  void Put(const std::string& key, Value value);
+
+  void Clear();
+
+  Stats GetStats() const;
+
+  /// Exact binary fingerprint of one recommendation question. Includes the
+  /// registry version so a hot-reloaded model can never serve a stale
+  /// memoized answer (old-version entries simply age out of the LRU).
+  static std::string MakeKey(const std::string& app, uint64_t model_version,
+                             const minispark::AppParams& params,
+                             const minispark::ClusterConfig& machine_type);
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    /// Most recent at the front; each node owns (key, value).
+    std::list<std::pair<std::string, Value>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, Value>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace juggler::service
+
+#endif  // JUGGLER_SERVICE_PREDICTION_CACHE_H_

@@ -1,0 +1,180 @@
+#include "service/recommendation_service.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+namespace juggler::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ElapsedUs(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+RecommendationService::RecommendationService(
+    std::shared_ptr<ModelRegistry> registry, const Options& options)
+    : registry_(std::move(registry)),
+      options_(options),
+      cache_(std::make_unique<PredictionCache>(options.cache)),
+      pool_(std::make_unique<ThreadPool>(ThreadPool::Options{
+          options.num_workers, options.queue_capacity})) {}
+
+RecommendationService::~RecommendationService() {
+  // Join workers while the metrics/cache members they touch are still alive.
+  pool_->Shutdown();
+}
+
+StatusOr<RecommendResponse> RecommendationService::EvaluateNow(
+    const ModelRegistry::Resolved& resolved, const RecommendRequest& request,
+    const std::string& key) {
+  evaluations_.fetch_add(1, std::memory_order_relaxed);
+  auto recs = resolved.model->Recommend(request.params, request.machine_type);
+  if (!recs.ok()) return recs.status();
+  auto value = std::make_shared<const std::vector<core::Recommendation>>(
+      std::move(recs).value());
+  cache_->Put(key, value);
+  return RecommendResponse{std::move(value), /*cache_hit=*/false,
+                           resolved.version};
+}
+
+StatusOr<RecommendResponse> RecommendationService::Recommend(
+    const RecommendRequest& request) {
+  const auto start = Clock::now();
+  auto resolved = registry_->Resolve(request.app);
+  if (!resolved.ok()) return resolved.status();
+  const std::string key = PredictionCache::MakeKey(
+      request.app, resolved->version, request.params, request.machine_type);
+  // Warm hits are answered on the caller's thread: no queue slot, no worker
+  // handoff — this is the sub-microsecond path recurring applications take.
+  if (auto cached = cache_->Get(key)) {
+    latency_.Record(ElapsedUs(start));
+    return RecommendResponse{std::move(cached), /*cache_hit=*/true,
+                             resolved->version};
+  }
+
+  auto promise =
+      std::make_shared<std::promise<StatusOr<RecommendResponse>>>();
+  auto future = promise->get_future();
+  Status submitted = pool_->Submit(
+      [this, start, resolved = std::move(resolved).value(), request, key,
+       promise] {
+        if (options_.pre_eval_hook) options_.pre_eval_hook();
+        auto result = EvaluateNow(resolved, request, key);
+        latency_.Record(ElapsedUs(start));
+        promise->set_value(std::move(result));
+      });
+  if (!submitted.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return submitted;
+  }
+  return future.get();
+}
+
+std::future<StatusOr<RecommendResponse>> RecommendationService::RecommendAsync(
+    RecommendRequest request) {
+  // One pool hop for the whole request keeps the async path simple; the
+  // worker re-probes the cache, so duplicate in-flight keys still coalesce
+  // to one evaluation most of the time.
+  auto promise =
+      std::make_shared<std::promise<StatusOr<RecommendResponse>>>();
+  auto future = promise->get_future();
+  const auto start = Clock::now();
+  auto resolved = registry_->Resolve(request.app);
+  if (!resolved.ok()) {
+    promise->set_value(resolved.status());
+    return future;
+  }
+  std::string key = PredictionCache::MakeKey(
+      request.app, resolved->version, request.params, request.machine_type);
+  if (auto cached = cache_->Get(key)) {
+    latency_.Record(ElapsedUs(start));
+    promise->set_value(RecommendResponse{std::move(cached), /*cache_hit=*/true,
+                                         resolved->version});
+    return future;
+  }
+  Status submitted = pool_->Submit(
+      [this, start, resolved = std::move(resolved).value(),
+       request = std::move(request), key = std::move(key), promise] {
+        if (options_.pre_eval_hook) options_.pre_eval_hook();
+        if (auto cached = cache_->Get(key)) {
+          latency_.Record(ElapsedUs(start));
+          promise->set_value(RecommendResponse{std::move(cached),
+                                               /*cache_hit=*/true,
+                                               resolved.version});
+          return;
+        }
+        auto result = EvaluateNow(resolved, request, key);
+        latency_.Record(ElapsedUs(start));
+        promise->set_value(std::move(result));
+      });
+  if (!submitted.ok()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    promise->set_value(submitted);
+  }
+  return future;
+}
+
+std::vector<StatusOr<RecommendResponse>> RecommendationService::RecommendBatch(
+    const std::vector<RecommendRequest>& requests) {
+  // Group identical questions so each unique key is evaluated exactly once,
+  // then fan the shared answer back out to every duplicate slot.
+  struct Group {
+    size_t first_index = 0;
+    std::vector<size_t> indices;
+  };
+  std::unordered_map<std::string, Group> groups;
+  std::vector<Status> resolve_errors(requests.size(), Status::OK());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    auto resolved = registry_->Resolve(requests[i].app);
+    if (!resolved.ok()) {
+      resolve_errors[i] = resolved.status();
+      continue;
+    }
+    std::string key =
+        PredictionCache::MakeKey(requests[i].app, resolved->version,
+                                 requests[i].params, requests[i].machine_type);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.first_index = i;
+    it->second.indices.push_back(i);
+  }
+
+  std::vector<std::pair<const Group*, std::future<StatusOr<RecommendResponse>>>>
+      in_flight;
+  in_flight.reserve(groups.size());
+  for (const auto& [key, group] : groups) {
+    in_flight.emplace_back(&group,
+                           RecommendAsync(requests[group.first_index]));
+  }
+
+  std::vector<StatusOr<RecommendResponse>> results;
+  results.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    results.emplace_back(resolve_errors[i].ok()
+                             ? Status::Internal("batch slot not filled")
+                             : resolve_errors[i]);
+  }
+  for (auto& [group, future] : in_flight) {
+    StatusOr<RecommendResponse> result = future.get();
+    for (size_t index : group->indices) {
+      results[index] = result;  // Duplicates share the answer snapshot.
+    }
+  }
+  return results;
+}
+
+RecommendationService::Stats RecommendationService::GetStats() const {
+  Stats stats;
+  stats.cache = cache_->GetStats();
+  stats.latency = latency_.GetSnapshot();
+  stats.evaluations = evaluations_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace juggler::service

@@ -1,0 +1,115 @@
+#ifndef JUGGLER_SERVICE_RECOMMENDATION_SERVICE_H_
+#define JUGGLER_SERVICE_RECOMMENDATION_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/recommender.h"
+#include "minispark/cluster.h"
+#include "minispark/types.h"
+#include "service/metrics.h"
+#include "service/model_registry.h"
+#include "service/prediction_cache.h"
+#include "service/thread_pool.h"
+
+namespace juggler::service {
+
+/// One recommendation question: which app, the user's parameters, and the
+/// machine type of the target cluster.
+struct RecommendRequest {
+  std::string app;
+  minispark::AppParams params;
+  minispark::ClusterConfig machine_type;
+};
+
+struct RecommendResponse {
+  /// The §5.5 Pareto-filtered recommendations. Shared immutable snapshot —
+  /// cache hits alias the same vector, so never mutate through it.
+  std::shared_ptr<const std::vector<core::Recommendation>> recommendations;
+  bool cache_hit = false;
+  /// Registry snapshot version of the model that answered.
+  uint64_t model_version = 0;
+};
+
+/// \brief The online serving front end (§5.5 as a service): model registry +
+/// prediction cache + worker pool behind one request interface.
+///
+/// Request path: resolve the model from the registry (never blocks on
+/// reloads), probe the prediction cache on the caller's thread (a warm hit
+/// costs no queue slot and no worker), and only on a miss dispatch the model
+/// evaluation to the pool. A full queue is surfaced immediately as
+/// ResourceExhausted — callers are expected to retry with backoff, exactly
+/// like an overloaded RPC server. The serving layer never alters what the
+/// model would answer: responses are bit-identical to calling
+/// `TrainedJuggler::Recommend()` directly.
+class RecommendationService {
+ public:
+  struct Options {
+    int num_workers = 4;
+    size_t queue_capacity = 1024;
+    PredictionCache::Options cache;
+    /// Test/instrumentation hook run by a worker immediately before each
+    /// model evaluation (nullptr to disable).
+    std::function<void()> pre_eval_hook;
+  };
+
+  struct Stats {
+    PredictionCache::Stats cache;
+    LatencyHistogram::Snapshot latency;
+    uint64_t evaluations = 0;  ///< Model evaluations actually run on workers.
+    uint64_t rejected = 0;     ///< Requests shed due to a full queue.
+  };
+
+  RecommendationService(std::shared_ptr<ModelRegistry> registry,
+                        const Options& options);
+  ~RecommendationService();
+
+  RecommendationService(const RecommendationService&) = delete;
+  RecommendationService& operator=(const RecommendationService&) = delete;
+
+  /// Answers one request, blocking until the result is ready. Errors:
+  /// NotFound (unknown app), ResourceExhausted (queue full), or whatever the
+  /// model evaluation itself returns.
+  StatusOr<RecommendResponse> Recommend(const RecommendRequest& request);
+
+  /// Non-blocking variant; the future carries the same result Recommend()
+  /// would return. Registry/cache/backpressure errors still resolve through
+  /// the future (always valid).
+  std::future<StatusOr<RecommendResponse>> RecommendAsync(
+      RecommendRequest request);
+
+  /// Answers a batch. Identical questions inside the batch (same app,
+  /// parameters, and machine type) are deduplicated: evaluated once, with
+  /// the shared answer fanned back out to every duplicate slot. Results are
+  /// positionally aligned with `requests`, and each equals what a sequential
+  /// Recommend() of that element would return.
+  std::vector<StatusOr<RecommendResponse>> RecommendBatch(
+      const std::vector<RecommendRequest>& requests);
+
+  Stats GetStats() const;
+
+  ModelRegistry& registry() { return *registry_; }
+  PredictionCache& cache() { return *cache_; }
+
+ private:
+  StatusOr<RecommendResponse> EvaluateNow(
+      const ModelRegistry::Resolved& resolved, const RecommendRequest& request,
+      const std::string& key);
+
+  std::shared_ptr<ModelRegistry> registry_;
+  Options options_;
+  std::unique_ptr<PredictionCache> cache_;
+  std::unique_ptr<ThreadPool> pool_;
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> evaluations_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace juggler::service
+
+#endif  // JUGGLER_SERVICE_RECOMMENDATION_SERVICE_H_

@@ -1,0 +1,61 @@
+#ifndef JUGGLER_SERVICE_THREAD_POOL_H_
+#define JUGGLER_SERVICE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace juggler::service {
+
+/// \brief Fixed-size worker pool with a bounded FIFO queue.
+///
+/// Submit() never blocks: when the queue is at capacity it returns
+/// ResourceExhausted immediately, which the serving layer surfaces to the
+/// client as backpressure (shed load at the edge instead of queueing
+/// unboundedly — the same policy a socket front end would apply).
+class ThreadPool {
+ public:
+  struct Options {
+    int num_threads = 4;
+    size_t queue_capacity = 1024;
+  };
+
+  explicit ThreadPool(const Options& options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution by some worker. Returns ResourceExhausted
+  /// when the queue is full and FailedPrecondition after Shutdown().
+  Status Submit(std::function<void()> task);
+
+  /// Stops accepting work, drains already-queued tasks, joins all workers.
+  /// Called automatically by the destructor.
+  void Shutdown();
+
+  /// Tasks currently waiting (excludes tasks being executed).
+  size_t QueueDepth() const;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  const size_t queue_capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace juggler::service
+
+#endif  // JUGGLER_SERVICE_THREAD_POOL_H_

@@ -77,6 +77,50 @@ TEST(SerializationTest, RejectsGarbage) {
   EXPECT_FALSE(TrainedJugglerFromString("juggler-model 99\n").ok());
 }
 
+TEST(SerializationTest, RejectsWrongVersionLine) {
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  ASSERT_EQ(text.rfind("juggler-model 1\n", 0), 0u);
+  const std::string body = text.substr(text.find('\n') + 1);
+  // Future version, zero, negative, and non-numeric version tokens must all
+  // be InvalidArgument — never a crash or a silent downgrade.
+  for (const std::string header :
+       {"juggler-model 2\n", "juggler-model 0\n", "juggler-model -1\n",
+        "juggler-model one\n", "juggler-model\n"}) {
+    auto loaded = TrainedJugglerFromString(header + body);
+    EXPECT_FALSE(loaded.ok()) << header;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument) << header;
+  }
+}
+
+TEST(SerializationTest, RejectsTrailingGarbage) {
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  ASSERT_TRUE(TrainedJugglerFromString(text).ok());
+  // A registry directory artifact with junk after the model (partial
+  // overwrite, concatenated files) must be rejected, not silently accepted.
+  for (const std::string& suffix : std::vector<std::string>{
+           "oops\n", "juggler-model 1\n", text, "\n\nextra"}) {
+    auto loaded = TrainedJugglerFromString(text + suffix);
+    EXPECT_FALSE(loaded.ok()) << suffix.substr(0, 20);
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+  // Trailing blank lines are fine — editors and shells add them.
+  EXPECT_TRUE(TrainedJugglerFromString(text + "\n\n").ok());
+}
+
+TEST(SerializationTest, RejectsCorruptedCountLines) {
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  for (const char* field : {"schedules ", "size_models ", "time_models "}) {
+    const size_t pos = text.find(field);
+    ASSERT_NE(pos, std::string::npos) << field;
+    std::string corrupt = text;
+    corrupt.replace(pos + std::string(field).size(), 1, "x");
+    EXPECT_FALSE(TrainedJugglerFromString(corrupt).ok()) << field;
+  }
+}
+
 TEST(SerializationTest, RejectsTruncatedInput) {
   const auto training = TrainSmall("pca");
   const std::string text = TrainedJugglerToString(training.trained);

@@ -1,0 +1,515 @@
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "service/metrics.h"
+#include "service/model_registry.h"
+#include "service/prediction_cache.h"
+#include "service/recommendation_service.h"
+#include "service/thread_pool.h"
+#include "workloads/workloads.h"
+
+namespace juggler::service {
+namespace {
+
+namespace fs = std::filesystem;
+using core::TrainedJuggler;
+using minispark::AppParams;
+using minispark::PaperCluster;
+
+/// Trains a small model deterministically (same recipe as serialization_test).
+TrainedJuggler TrainSmall(const std::string& name, int iterations = 5) {
+  const auto w = workloads::GetWorkload(name).value();
+  core::JugglerConfig config;
+  config.time_grid =
+      core::TrainingGrid{{4000, 8000, 16000}, {1000, 2000, 4000}, iterations};
+  config.memory_reference = w.paper_params;
+  config.run_options.noise_sigma = 0.0;
+  config.run_options.straggler_prob = 0.0;
+  auto training = core::TrainJuggler(name, w.make, config);
+  EXPECT_TRUE(training.ok()) << training.status().ToString();
+  return std::move(training)->trained;
+}
+
+void SaveModel(const TrainedJuggler& trained, const fs::path& path) {
+  std::ofstream out(path);
+  ASSERT_TRUE(out) << path;
+  ASSERT_TRUE(core::SaveTrainedJuggler(trained, out).ok());
+}
+
+/// Fresh empty registry directory for one test.
+fs::path MakeModelDir(const std::string& test_name) {
+  const fs::path dir = fs::path(testing::TempDir()) / ("registry_" + test_name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+bool SameRecommendations(const std::vector<core::Recommendation>& a,
+                         const std::vector<core::Recommendation>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    // Bit-identical, not approximately equal: the serving layer must never
+    // change what the model answers.
+    if (a[i].schedule_id != b[i].schedule_id || !(a[i].plan == b[i].plan) ||
+        a[i].predicted_bytes != b[i].predicted_bytes ||
+        a[i].machines != b[i].machines ||
+        a[i].predicted_time_ms != b[i].predicted_time_ms ||
+        a[i].predicted_cost_machine_min != b[i].predicted_cost_machine_min) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry
+
+TEST(ModelRegistryTest, LoadsArtifactsAndLooksUpByAppName) {
+  const fs::path dir = MakeModelDir("loads");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+  std::ofstream(dir / "notes.txt") << "ignored: wrong extension\n";
+
+  ModelRegistry registry(dir.string());
+  EXPECT_EQ(registry.version(), 0u);
+  EXPECT_EQ(registry.size(), 0u);
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.AppNames(), (std::vector<std::string>{"pca", "svm"}));
+
+  auto svm = registry.Lookup("svm");
+  ASSERT_TRUE(svm.ok()) << svm.status().ToString();
+  EXPECT_EQ((*svm)->app_name(), "svm");
+
+  auto missing = registry.Lookup("lor");
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(missing.status().message().find("svm"), std::string::npos)
+      << "NotFound should list the known apps: "
+      << missing.status().message();
+}
+
+TEST(ModelRegistryTest, RefreshPicksUpNewArtifacts) {
+  const fs::path dir = MakeModelDir("pickup");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_FALSE(registry.Lookup("pca").ok());
+
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.Lookup("pca").ok());
+}
+
+TEST(ModelRegistryTest, HotReloadDoesNotInvalidateInFlightReaders) {
+  const fs::path dir = MakeModelDir("hot_reload");
+  SaveModel(TrainSmall("svm", /*iterations=*/5), dir / "svm.model");
+  ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+
+  // An in-flight request resolves the model...
+  auto before = registry.Lookup("svm");
+  ASSERT_TRUE(before.ok());
+  const AppParams params{12000, 3000, 5};
+  auto answer_before = (*before)->Recommend(params, PaperCluster(1));
+  ASSERT_TRUE(answer_before.ok());
+
+  // ...the artifact is retrained and hot-swapped underneath it...
+  SaveModel(TrainSmall("svm", /*iterations=*/9), dir / "svm.model");
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 2u);
+
+  // ...and the old handle still answers, identically to before the swap.
+  auto answer_after = (*before)->Recommend(params, PaperCluster(1));
+  ASSERT_TRUE(answer_after.ok());
+  EXPECT_TRUE(SameRecommendations(*answer_before, *answer_after));
+
+  // New lookups get the new model object.
+  auto after = registry.Lookup("svm");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get());
+}
+
+TEST(ModelRegistryTest, RefreshIsAllOrNothingOnMalformedArtifact) {
+  const fs::path dir = MakeModelDir("all_or_nothing");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+
+  std::ofstream(dir / "broken.model") << "juggler-model 1\napp oops\n";
+  Status st = registry.Refresh();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("broken.model"), std::string::npos)
+      << st.message();
+  // The previous snapshot stays live.
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_TRUE(registry.Lookup("svm").ok());
+}
+
+TEST(ModelRegistryTest, RefreshRejectsDuplicateAppNames) {
+  const fs::path dir = MakeModelDir("duplicate");
+  const auto svm = TrainSmall("svm");
+  SaveModel(svm, dir / "svm.model");
+  SaveModel(svm, dir / "svm_copy.model");
+  ModelRegistry registry(dir.string());
+  Status st = registry.Refresh();
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ModelRegistryTest, MissingDirectoryIsNotFound) {
+  ModelRegistry registry(
+      (fs::path(testing::TempDir()) / "no_such_dir_xyz").string());
+  EXPECT_EQ(registry.Refresh().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// PredictionCache
+
+PredictionCache::Value MakeValue(int schedule_id) {
+  std::vector<core::Recommendation> recs(1);
+  recs[0].schedule_id = schedule_id;
+  return std::make_shared<const std::vector<core::Recommendation>>(
+      std::move(recs));
+}
+
+TEST(PredictionCacheTest, EvictsLeastRecentlyUsedAtCapacity) {
+  PredictionCache cache(PredictionCache::Options{/*capacity=*/3,
+                                                 /*num_shards=*/1});
+  cache.Put("a", MakeValue(1));
+  cache.Put("b", MakeValue(2));
+  cache.Put("c", MakeValue(3));
+  ASSERT_NE(cache.Get("a"), nullptr);  // Refreshes "a": LRU is now "b".
+  cache.Put("d", MakeValue(4));        // Evicts "b".
+
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("d"), nullptr);
+
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.size, 3u);
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(PredictionCacheTest, PutOfExistingKeyRefreshesInsteadOfEvicting) {
+  PredictionCache cache(PredictionCache::Options{2, 1});
+  cache.Put("a", MakeValue(1));
+  cache.Put("b", MakeValue(2));
+  cache.Put("a", MakeValue(3));  // Refresh, not insert: nothing evicted.
+  cache.Put("c", MakeValue(4));  // Evicts "b" (LRU), not "a".
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ((*cache.Get("a"))[0].schedule_id, 3);
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+}
+
+TEST(PredictionCacheTest, StaysWithinCapacityAcrossShards) {
+  PredictionCache cache(PredictionCache::Options{/*capacity=*/8,
+                                                 /*num_shards=*/4});
+  for (int i = 0; i < 100; ++i) {
+    cache.Put("key" + std::to_string(i), MakeValue(i));
+  }
+  EXPECT_LE(cache.GetStats().size, 8u);
+  EXPECT_GE(cache.GetStats().evictions, 92u);
+}
+
+TEST(PredictionCacheTest, KeyReflectsEveryInput) {
+  const AppParams params{12000, 3000, 5};
+  const auto machine = PaperCluster(1);
+  const std::string base = PredictionCache::MakeKey("svm", 1, params, machine);
+  EXPECT_EQ(PredictionCache::MakeKey("svm", 1, params, machine), base);
+
+  EXPECT_NE(PredictionCache::MakeKey("pca", 1, params, machine), base);
+  EXPECT_NE(PredictionCache::MakeKey("svm", 2, params, machine), base);
+  AppParams p2 = params;
+  p2.examples += 1;
+  EXPECT_NE(PredictionCache::MakeKey("svm", 1, p2, machine), base);
+  p2 = params;
+  p2.iterations += 1;
+  EXPECT_NE(PredictionCache::MakeKey("svm", 1, p2, machine), base);
+  auto m2 = machine;
+  m2.executor_memory_bytes *= 2;
+  EXPECT_NE(PredictionCache::MakeKey("svm", 1, params, m2), base);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(ThreadPool::Options{2, 64});
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(pool.Submit([&ran] { ran.fetch_add(1); }).ok());
+  }
+  pool.Shutdown();  // Drains the queue before joining.
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, FullQueueReturnsResourceExhausted) {
+  ThreadPool pool(ThreadPool::Options{1, 1});
+  std::mutex mu;
+  std::condition_variable cv;
+  bool entered = false, release = false;
+
+  // Occupy the single worker...
+  ASSERT_TRUE(pool.Submit([&] {
+                    std::unique_lock<std::mutex> lock(mu);
+                    entered = true;
+                    cv.notify_all();
+                    cv.wait(lock, [&] { return release; });
+                  })
+                  .ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered; });
+  }
+  // ...fill the queue...
+  ASSERT_TRUE(pool.Submit([] {}).ok());
+  // ...and the next submit must shed.
+  EXPECT_EQ(pool.Submit([] {}).code(), StatusCode::kResourceExhausted);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(ThreadPool::Options{1, 4});
+  pool.Shutdown();
+  EXPECT_EQ(pool.Submit([] {}).code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+TEST(LatencyHistogramTest, TracksCountSumMaxAndPercentiles) {
+  LatencyHistogram hist;
+  EXPECT_EQ(hist.GetSnapshot().count, 0u);
+  for (int i = 0; i < 95; ++i) hist.Record(100.0);
+  for (int i = 0; i < 5; ++i) hist.Record(10000.0);
+  const auto snap = hist.GetSnapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_DOUBLE_EQ(snap.sum_us, 95 * 100.0 + 5 * 10000.0);
+  EXPECT_DOUBLE_EQ(snap.max_us, 10000.0);
+  // Log-spaced buckets: estimates are exact to one bucket (factor 1.5).
+  EXPECT_GE(snap.p50_us, 100.0 / 1.5);
+  EXPECT_LE(snap.p50_us, 100.0 * 1.5);
+  EXPECT_GE(snap.p95_us, 100.0 / 1.5);
+  EXPECT_LE(snap.p95_us, 100.0 * 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// RecommendationService
+
+struct ServiceFixture {
+  fs::path dir;
+  std::shared_ptr<ModelRegistry> registry;
+  std::unique_ptr<RecommendationService> service;
+
+  explicit ServiceFixture(const std::string& test_name,
+                          RecommendationService::Options options = {}) {
+    dir = MakeModelDir(test_name);
+    SaveModel(TrainSmall("svm"), dir / "svm.model");
+    SaveModel(TrainSmall("pca"), dir / "pca.model");
+    registry = std::make_shared<ModelRegistry>(dir.string());
+    Status st = registry->Refresh();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    service = std::make_unique<RecommendationService>(registry, options);
+  }
+};
+
+RecommendRequest SvmRequest(double examples = 12000, double features = 3000) {
+  return RecommendRequest{"svm", AppParams{examples, features, 5},
+                          PaperCluster(1)};
+}
+
+TEST(RecommendationServiceTest, MatchesDirectRecommendBitForBit) {
+  ServiceFixture f("matches_direct");
+  const auto request = SvmRequest();
+
+  auto direct_model = f.registry->Lookup("svm");
+  ASSERT_TRUE(direct_model.ok());
+  auto direct =
+      (*direct_model)->Recommend(request.params, request.machine_type);
+  ASSERT_TRUE(direct.ok());
+
+  auto served = f.service->Recommend(request);
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  EXPECT_FALSE(served->cache_hit);
+  EXPECT_EQ(served->model_version, 1u);
+  EXPECT_TRUE(SameRecommendations(*direct, *served->recommendations));
+
+  // Second ask: warm hit, same (shared) answer.
+  auto warm = f.service->Recommend(request);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_TRUE(warm->cache_hit);
+  EXPECT_EQ(warm->recommendations.get(), served->recommendations.get());
+
+  const auto stats = f.service->GetStats();
+  EXPECT_EQ(stats.evaluations, 1u);
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.latency.count, 2u);
+}
+
+TEST(RecommendationServiceTest, UnknownAppIsNotFound) {
+  ServiceFixture f("unknown_app");
+  auto result = f.service->Recommend(
+      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1)});
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RecommendationServiceTest, BatchDedupsAndMatchesSequential) {
+  ServiceFixture f("batch_dedup");
+  // 9 slots, 2 unique questions + 1 unknown app, duplicates interleaved.
+  std::vector<RecommendRequest> batch;
+  for (int i = 0; i < 4; ++i) batch.push_back(SvmRequest(12000, 3000));
+  batch.push_back(
+      RecommendRequest{"nope", AppParams{1, 1, 1}, PaperCluster(1)});
+  for (int i = 0; i < 4; ++i) batch.push_back(SvmRequest(24000, 6000));
+
+  auto results = f.service->RecommendBatch(batch);
+  ASSERT_EQ(results.size(), batch.size());
+  EXPECT_EQ(results[4].status().code(), StatusCode::kNotFound);
+
+  // Each unique question was evaluated exactly once despite 4 copies each.
+  EXPECT_EQ(f.service->GetStats().evaluations, 2u);
+
+  // Every slot equals a sequential Recommend() of the same element.
+  auto model = f.registry->Lookup("svm");
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    if (i == 4) continue;
+    ASSERT_TRUE(results[i].ok()) << i;
+    auto sequential =
+        (*model)->Recommend(batch[i].params, batch[i].machine_type);
+    ASSERT_TRUE(sequential.ok());
+    EXPECT_TRUE(
+        SameRecommendations(*sequential, *results[i]->recommendations))
+        << "slot " << i;
+  }
+  // Duplicate slots share one answer snapshot.
+  EXPECT_EQ(results[0]->recommendations.get(),
+            results[3]->recommendations.get());
+}
+
+TEST(RecommendationServiceTest, FullQueueShedsWithResourceExhausted) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool release = false;
+
+  RecommendationService::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 1;
+  options.pre_eval_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  ServiceFixture f("backpressure", options);
+
+  // First request occupies the single worker (blocked in the hook)...
+  auto first = f.service->RecommendAsync(SvmRequest(10000, 1000));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= 1; });
+  }
+  // ...second fills the one queue slot...
+  auto second = f.service->RecommendAsync(SvmRequest(11000, 1100));
+  // ...third must be shed immediately.
+  auto third = f.service->Recommend(SvmRequest(12000, 1200));
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(f.service->GetStats().rejected, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  auto r1 = first.get();
+  auto r2 = second.get();
+  EXPECT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(RecommendationServiceTest, HotReloadBumpsVersionAndBypassesStaleCache) {
+  ServiceFixture f("reload_cache");
+  const auto request = SvmRequest();
+  auto v1 = f.service->Recommend(request);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->model_version, 1u);
+
+  // Retrain + hot-swap the artifact; the memoized v1 answer must not serve.
+  SaveModel(TrainSmall("svm", /*iterations=*/9), f.dir / "svm.model");
+  ASSERT_TRUE(f.registry->Refresh().ok());
+
+  auto v2 = f.service->Recommend(request);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->model_version, 2u);
+  EXPECT_FALSE(v2->cache_hit);
+  EXPECT_EQ(f.service->GetStats().evaluations, 2u);
+}
+
+TEST(RecommendationServiceTest, ConcurrentMixedTrafficIsConsistent) {
+  RecommendationService::Options options;
+  options.num_workers = 4;
+  options.cache.capacity = 64;
+  ServiceFixture f("concurrent", options);
+
+  // Reference answers computed single-threaded up front.
+  auto model = f.registry->Lookup("svm");
+  ASSERT_TRUE(model.ok());
+  std::vector<RecommendRequest> pool;
+  std::vector<std::vector<core::Recommendation>> expected;
+  for (int i = 0; i < 8; ++i) {
+    pool.push_back(SvmRequest(10000 + 1000 * i, 2000 + 500 * i));
+    auto recs =
+        (*model)->Recommend(pool.back().params, pool.back().machine_type);
+    ASSERT_TRUE(recs.ok());
+    expected.push_back(*recs);
+  }
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 8; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const int k = (t + i) % 8;
+        auto result = f.service->Recommend(pool[k]);
+        if (!result.ok() ||
+            !SameRecommendations(expected[k], *result->recommendations)) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto stats = f.service->GetStats();
+  EXPECT_EQ(stats.latency.count, 8u * 50u);
+  EXPECT_GT(stats.cache.hits, 0u);
+}
+
+}  // namespace
+}  // namespace juggler::service
