@@ -42,7 +42,7 @@ std::vector<CachePolicy> AllCachePolicies();
 /// \brief Produces the incremental schedules a policy recommends. Mirrors
 /// §7.2's adaptation: the first schedule caches the top-ranked dataset;
 /// each following schedule re-ranks (policy permitting) and adds the next.
-StatusOr<std::vector<core::Schedule>> SelectSchedulesWithPolicy(
+[[nodiscard]] StatusOr<std::vector<core::Schedule>> SelectSchedulesWithPolicy(
     CachePolicy policy, const core::MergedDag& dag,
     const std::vector<core::DatasetMetric>& metrics, int max_schedules = 8);
 

@@ -39,7 +39,7 @@ std::vector<std::pair<double, int>> ErnestExperimentDesign(int max_machines);
 /// experiments on the engine: input scale is applied to the example count.
 /// The runs use the application's developer cache plan (Ernest treats the
 /// application as a black box). Returns the fitted model.
-StatusOr<ErnestModel> TrainErnest(
+[[nodiscard]] StatusOr<ErnestModel> TrainErnest(
     const core::AppFactory& factory, const minispark::AppParams& full_params,
     const minispark::ClusterConfig& machine_type,
     const std::vector<std::pair<double, int>>& design,

@@ -1,7 +1,7 @@
 #ifndef JUGGLER_COMMON_LOGGING_H_
 #define JUGGLER_COMMON_LOGGING_H_
 
-#include <iostream>
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -29,7 +29,11 @@ class Logger {
     ~Line() {
       if (level_ >= threshold_) {
         stream_ << '\n';
-        std::cerr << stream_.str();
+        // fputs, not std::cerr: keeps <iostream> (and its per-TU static
+        // initializer) out of this widely-included header, and a single
+        // write keeps concurrent log lines from interleaving mid-line.
+        const std::string text = stream_.str();
+        std::fputs(text.c_str(), stderr);
       }
     }
     template <typename T>

@@ -23,7 +23,14 @@ enum class StatusCode {
 };
 
 /// \brief A cheap, copyable success-or-error result.
-class Status {
+///
+/// `[[nodiscard]]`: every function that returns a `Status` (or `StatusOr`)
+/// reports failure through it and nothing else, so silently dropping the
+/// return value swallows the error. Discarding is a compile error under the
+/// repo's default `-Werror` baseline; the few legitimate discards (e.g. a
+/// best-effort refresh whose failure is acceptable) must be explicit and
+/// commented: `status.IgnoreError();  // why it is safe`.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -50,12 +57,16 @@ class Status {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
 
   /// Human-readable "CODE: message" form for logs and test failures.
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
+
+  /// Documents a deliberate discard. Write the reason next to the call:
+  /// `registry.Refresh().IgnoreError();  // best-effort; stale is fine`.
+  void IgnoreError() const {}
 
  private:
   StatusCode code_;
@@ -67,7 +78,7 @@ class Status {
 /// Accessing the value of a non-OK result is a programming error (asserts in
 /// debug builds; undefined in release), mirroring absl::StatusOr semantics.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value or from an error Status keeps call
   /// sites terse (`return value;` / `return Status::NotFound(...);`).

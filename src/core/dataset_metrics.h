@@ -59,7 +59,7 @@ struct DatasetMetric {
 /// computation times apply Equation 2 (narrow; three ENT cases averaged over
 /// tasks, times the wave count) and Equation 3 (wide = Shuffle Write +
 /// Shuffle Read); cache-served occurrences are excluded from timing.
-StatusOr<std::vector<DatasetMetric>> DeriveDatasetMetrics(
+[[nodiscard]] StatusOr<std::vector<DatasetMetric>> DeriveDatasetMetrics(
     const minispark::ProfilingDb& db);
 
 }  // namespace juggler::core

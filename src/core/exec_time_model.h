@@ -26,7 +26,7 @@ struct TimeModelResult {
 ///
 /// The resulting model predicts execution time at the *optimal* machine
 /// count, so machine count is not a model input.
-StatusOr<TimeModelResult> BuildTimeModel(
+[[nodiscard]] StatusOr<TimeModelResult> BuildTimeModel(
     const AppFactory& factory, const Schedule& schedule,
     const SizeCalibration& sizes, double memory_factor,
     const minispark::ClusterConfig& machine_type, const TrainingGrid& grid,
@@ -50,7 +50,7 @@ struct IterationExtension {
 /// \brief Runs `extra_counts.size()` additional experiments at the given
 /// iteration counts (fixed reference parameters, recommended machines) and
 /// fits the linear time-vs-iterations extension.
-StatusOr<IterationExtension> BuildIterationExtension(
+[[nodiscard]] StatusOr<IterationExtension> BuildIterationExtension(
     const AppFactory& factory, const Schedule& schedule,
     const SizeCalibration& sizes, double memory_factor,
     const minispark::ClusterConfig& machine_type,

@@ -37,7 +37,7 @@ std::vector<long long> EffectiveComputationCounts(
 /// newly-selected ancestor subsumes it, and unpersist ops inserted where a
 /// cached dataset is only needed to produce its successor. Equal-cost
 /// schedules keep only the highest benefit.
-StatusOr<std::vector<Schedule>> DetectHotspots(
+[[nodiscard]] StatusOr<std::vector<Schedule>> DetectHotspots(
     const MergedDag& dag, const std::vector<DatasetMetric>& metrics,
     const HotspotOptions& options = HotspotOptions{});
 

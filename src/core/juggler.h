@@ -62,7 +62,7 @@ struct TrainingResult {
 /// \brief Runs the four offline stages in order (§5.1-§5.4): hotspot
 /// detection on one instrumented sample run, parameter calibration,
 /// memory calibration, and per-schedule execution-time models.
-StatusOr<TrainingResult> TrainJuggler(const std::string& app_name,
+[[nodiscard]] StatusOr<TrainingResult> TrainJuggler(const std::string& app_name,
                                       const AppFactory& factory,
                                       const JugglerConfig& config);
 

@@ -30,7 +30,7 @@ struct MachineTypeAdaptation {
 ///
 /// The optimization models (schedules, sizes, memory factor) transfer
 /// unchanged; only the time predictions are rescaled.
-StatusOr<MachineTypeAdaptation> AdaptTimeModelToMachineType(
+[[nodiscard]] StatusOr<MachineTypeAdaptation> AdaptTimeModelToMachineType(
     const TrainedJuggler& trained, const AppFactory& factory,
     const minispark::ClusterConfig& new_machine_type,
     const std::vector<minispark::AppParams>& probe_params,

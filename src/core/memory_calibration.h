@@ -27,7 +27,7 @@ struct MemoryCalibration {
 ///
 /// `reference` supplies the feature count to hold fixed while the example
 /// count is solved for; `iterations` bounds the calibration run's length.
-StatusOr<MemoryCalibration> CalibrateMemory(
+[[nodiscard]] StatusOr<MemoryCalibration> CalibrateMemory(
     const AppFactory& factory, const Schedule& first_schedule,
     const SizeCalibration& sizes, const minispark::ClusterConfig& machine_type,
     const minispark::AppParams& reference, int iterations,

@@ -38,7 +38,7 @@ struct SizeCalibration {
 /// \brief Stage 2 (§5.2): runs the full-factorial experiments on the
 /// instrumented engine, measures each scheduled dataset's size, and fits the
 /// best of the four size-model families by leave-one-out cross-validation.
-StatusOr<SizeCalibration> CalibrateSizes(
+[[nodiscard]] StatusOr<SizeCalibration> CalibrateSizes(
     const AppFactory& factory, const std::vector<Schedule>& schedules,
     const TrainingGrid& grid, const minispark::ClusterConfig& training_node,
     const minispark::RunOptions& run_options);
@@ -46,7 +46,7 @@ StatusOr<SizeCalibration> CalibrateSizes(
 /// \brief Predicted peak cached bytes of a schedule at the given parameters
 /// (the §5.5 size estimator): evaluates each dataset's size model and takes
 /// the plan's peak, honouring unpersists.
-StatusOr<double> PredictScheduleBytes(const Schedule& schedule,
+[[nodiscard]] StatusOr<double> PredictScheduleBytes(const Schedule& schedule,
                                       const SizeCalibration& calibration,
                                       const minispark::AppParams& params);
 

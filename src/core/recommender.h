@@ -35,13 +35,13 @@ class TrainedJuggler {
   /// execution time predictor -> execution cost estimator, then the Pareto
   /// filter ("Juggler does not offer a schedule if another one is faster and
   /// cheaper").
-  StatusOr<std::vector<Recommendation>> Recommend(
+  [[nodiscard]] StatusOr<std::vector<Recommendation>> Recommend(
       const minispark::AppParams& params,
       const minispark::ClusterConfig& machine_type) const;
 
   /// Like Recommend() but without the Pareto filter (used by the evaluation
   /// benches, which inspect every schedule).
-  StatusOr<std::vector<Recommendation>> RecommendAll(
+  [[nodiscard]] StatusOr<std::vector<Recommendation>> RecommendAll(
       const minispark::AppParams& params,
       const minispark::ClusterConfig& machine_type) const;
 

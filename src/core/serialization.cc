@@ -225,7 +225,9 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
 
 std::string TrainedJugglerToString(const TrainedJuggler& trained) {
   std::ostringstream out;
-  SaveTrainedJuggler(trained, out);
+  // Writing to an in-memory stream cannot fail; the only error
+  // SaveTrainedJuggler reports is a bad stream.
+  SaveTrainedJuggler(trained, out).IgnoreError();
   return out.str();
 }
 

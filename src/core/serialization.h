@@ -16,16 +16,16 @@ namespace juggler::core {
 /// The format is a versioned, line-oriented text format: schedules with
 /// their plans, the per-dataset size models (family name + coefficients),
 /// the memory factor, and the per-schedule time models.
-Status SaveTrainedJuggler(const TrainedJuggler& trained, std::ostream& out);
+[[nodiscard]] Status SaveTrainedJuggler(const TrainedJuggler& trained, std::ostream& out);
 
 /// Loads a model previously written by SaveTrainedJuggler. Fails with
 /// InvalidArgument on malformed input and NotFound on unknown model
 /// families.
-StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in);
+[[nodiscard]] StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in);
 
 /// Convenience round-trip through a string.
 std::string TrainedJugglerToString(const TrainedJuggler& trained);
-StatusOr<TrainedJuggler> TrainedJugglerFromString(const std::string& text);
+[[nodiscard]] StatusOr<TrainedJuggler> TrainedJugglerFromString(const std::string& text);
 
 }  // namespace juggler::core
 

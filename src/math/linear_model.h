@@ -37,10 +37,10 @@ class LinearModel {
 
   /// Fits non-negative coefficients to the observations. Requires at least
   /// as many observations as terms.
-  Status Fit(const std::vector<Observation>& data);
+  [[nodiscard]] Status Fit(const std::vector<Observation>& data);
 
   /// Installs externally-obtained coefficients (model deserialization).
-  Status SetCoefficients(std::vector<double> coefficients);
+  [[nodiscard]] Status SetCoefficients(std::vector<double> coefficients);
 
   /// Predicted value for a parameter vector. Requires fitted().
   double Predict(const std::vector<double>& params) const;
@@ -66,7 +66,7 @@ std::vector<LinearModel> MakeSizeModelFamilies();
 
 /// \brief Looks a model family up by name across the size and time
 /// families ("size~e+e*f", "time~f^2+e*f", ...). Used by deserialization.
-StatusOr<LinearModel> MakeModelFamilyByName(const std::string& name);
+[[nodiscard]] StatusOr<LinearModel> MakeModelFamilyByName(const std::string& name);
 
 /// \brief The paper's four execution-time model families (§5.4):
 ///   time = t0*e*f
@@ -86,7 +86,7 @@ double MeanRelativeError(const LinearModel& model,
 /// error refitted on all observations.
 ///
 /// Returns NotFound if no candidate can be fitted.
-StatusOr<LinearModel> SelectModelByCrossValidation(
+[[nodiscard]] StatusOr<LinearModel> SelectModelByCrossValidation(
     std::vector<LinearModel> candidates, const std::vector<Observation>& data);
 
 }  // namespace juggler::math

@@ -34,12 +34,12 @@ class Matrix {
 ///
 /// Returns InvalidArgument on shape mismatch and FailedPrecondition if the
 /// matrix is (numerically) singular.
-Status SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
+[[nodiscard]] Status SolveLinearSystem(const Matrix& a, const std::vector<double>& b,
                          std::vector<double>* x);
 
 /// \brief Ordinary (unconstrained) least squares, min ||a*x - b||_2, via the
 /// normal equations with a small ridge term for stability.
-Status LeastSquares(const Matrix& a, const std::vector<double>& b,
+[[nodiscard]] Status LeastSquares(const Matrix& a, const std::vector<double>& b,
                     std::vector<double>* x);
 
 /// \brief Non-negative least squares: min ||a*x - b||_2 subject to x >= 0.
@@ -48,7 +48,7 @@ Status LeastSquares(const Matrix& a, const std::vector<double>& b,
 /// scipy's `curve_fit` with enforced positive bounds, which the paper uses to
 /// fit its dataset-size and execution-time models (avoiding negative
 /// coefficients). Ernest (NSDI'16) fits its model with NNLS as well.
-Status NonNegativeLeastSquares(const Matrix& a, const std::vector<double>& b,
+[[nodiscard]] Status NonNegativeLeastSquares(const Matrix& a, const std::vector<double>& b,
                                std::vector<double>* x);
 
 /// \brief Residual 2-norm ||a*x - b||_2 for a candidate solution.

@@ -34,7 +34,7 @@ struct Application {
 /// \brief Checks structural invariants: dense ids, parents precede children
 /// (acyclicity), jobs target existing datasets, cache plans reference
 /// existing datasets, positive partition counts.
-Status Validate(const Application& app);
+[[nodiscard]] Status Validate(const Application& app);
 
 /// \brief Incrementally builds an Application. Keeps workload factories
 /// terse: each Add* returns the new dataset's id.

@@ -93,11 +93,11 @@ class Engine {
   explicit Engine(RunOptions options = RunOptions{}) : options_(options) {}
 
   /// Runs `app` on `cluster` with caching decisions from `plan`.
-  StatusOr<RunResult> Run(const Application& app, const ClusterConfig& cluster,
+  [[nodiscard]] StatusOr<RunResult> Run(const Application& app, const ClusterConfig& cluster,
                           const CachePlan& plan) const;
 
   /// Runs with the application's developer default schedule.
-  StatusOr<RunResult> RunDefault(const Application& app,
+  [[nodiscard]] StatusOr<RunResult> RunDefault(const Application& app,
                                  const ClusterConfig& cluster) const {
     return Run(app, cluster, app.default_plan);
   }

@@ -54,7 +54,7 @@ Status ModelRegistry::Refresh() {
     }
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   next->version = snapshot_->version + 1;
   snapshot_ = std::move(next);
   return Status::OK();
@@ -62,7 +62,7 @@ Status ModelRegistry::Refresh() {
 
 std::shared_ptr<const ModelRegistry::Snapshot> ModelRegistry::CurrentSnapshot()
     const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return snapshot_;
 }
 

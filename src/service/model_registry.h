@@ -4,11 +4,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/recommender.h"
 
 namespace juggler::service {
@@ -40,11 +41,11 @@ class ModelRegistry {
 
   /// Re-scans the directory. See the class comment for atomicity semantics.
   /// A missing or unreadable directory is NotFound.
-  Status Refresh();
+  [[nodiscard]] Status Refresh() EXCLUDES(mu_);
 
   /// Returns the model for `app`, or NotFound (message lists known apps) if
   /// no artifact declared that name.
-  StatusOr<std::shared_ptr<const core::TrainedJuggler>> Lookup(
+  [[nodiscard]] StatusOr<std::shared_ptr<const core::TrainedJuggler>> Lookup(
       const std::string& app) const;
 
   /// A model together with the snapshot version it was resolved from.
@@ -57,7 +58,7 @@ class ModelRegistry {
   /// (a concurrent Refresh() between `Lookup()` and `version()` could
   /// otherwise mismatch the two — and a mismatched pair poisons version-keyed
   /// caches).
-  StatusOr<Resolved> Resolve(const std::string& app) const;
+  [[nodiscard]] StatusOr<Resolved> Resolve(const std::string& app) const;
 
   /// Registered application names, sorted.
   std::vector<std::string> AppNames() const;
@@ -76,11 +77,11 @@ class ModelRegistry {
     std::map<std::string, std::shared_ptr<const core::TrainedJuggler>> models;
   };
 
-  std::shared_ptr<const Snapshot> CurrentSnapshot() const;
+  std::shared_ptr<const Snapshot> CurrentSnapshot() const EXCLUDES(mu_);
 
   const std::string directory_;
-  mutable std::mutex mu_;  ///< Guards the snapshot pointer swap only.
-  std::shared_ptr<const Snapshot> snapshot_;
+  mutable Mutex mu_;  ///< Guards the snapshot pointer swap only.
+  std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
 };
 
 }  // namespace juggler::service

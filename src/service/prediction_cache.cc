@@ -40,7 +40,7 @@ PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
 
 PredictionCache::Value PredictionCache::Get(const std::string& key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -53,7 +53,7 @@ PredictionCache::Value PredictionCache::Get(const std::string& key) {
 
 void PredictionCache::Put(const std::string& key, Value value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     it->second->second = std::move(value);
@@ -71,7 +71,7 @@ void PredictionCache::Put(const std::string& key, Value value) {
 
 void PredictionCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     shard->lru.clear();
     shard->index.clear();
   }
@@ -83,7 +83,7 @@ PredictionCache::Stats PredictionCache::GetStats() const {
   stats.misses = misses_.load(std::memory_order_relaxed);
   stats.evictions = evictions_.load(std::memory_order_relaxed);
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     stats.size += shard->lru.size();
   }
   return stats;

@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/recommender.h"
 #include "minispark/cluster.h"
 #include "minispark/types.h"
@@ -72,12 +73,12 @@ class PredictionCache {
 
  private:
   struct Shard {
-    std::mutex mu;
+    Mutex mu;
     /// Most recent at the front; each node owns (key, value).
-    std::list<std::pair<std::string, Value>> lru;
+    std::list<std::pair<std::string, Value>> lru GUARDED_BY(mu);
     std::unordered_map<std::string,
                        std::list<std::pair<std::string, Value>>::iterator>
-        index;
+        index GUARDED_BY(mu);
   };
 
   Shard& ShardFor(const std::string& key);

@@ -75,7 +75,7 @@ class RecommendationService {
   /// Answers one request, blocking until the result is ready. Errors:
   /// NotFound (unknown app), ResourceExhausted (queue full), or whatever the
   /// model evaluation itself returns.
-  StatusOr<RecommendResponse> Recommend(const RecommendRequest& request);
+  [[nodiscard]] StatusOr<RecommendResponse> Recommend(const RecommendRequest& request);
 
   /// Non-blocking variant; the future carries the same result Recommend()
   /// would return. Registry/cache/backpressure errors still resolve through
@@ -97,10 +97,14 @@ class RecommendationService {
   PredictionCache& cache() { return *cache_; }
 
  private:
-  StatusOr<RecommendResponse> EvaluateNow(
+  [[nodiscard]] StatusOr<RecommendResponse> EvaluateNow(
       const ModelRegistry::Resolved& resolved, const RecommendRequest& request,
       const std::string& key);
 
+  // Deliberately mutex-free: all shared state here is atomics plus the
+  // lock-free LatencyHistogram; lock discipline lives inside the components
+  // (ModelRegistry, PredictionCache, ThreadPool), each annotated with
+  // GUARDED_BY/EXCLUDES and checked by clang -Wthread-safety.
   std::shared_ptr<ModelRegistry> registry_;
   Options options_;
   std::unique_ptr<PredictionCache> cache_;

@@ -1,15 +1,15 @@
 #ifndef JUGGLER_SERVICE_THREAD_POOL_H_
 #define JUGGLER_SERVICE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace juggler::service {
 
@@ -34,25 +34,25 @@ class ThreadPool {
 
   /// Enqueues `task` for execution by some worker. Returns ResourceExhausted
   /// when the queue is full and FailedPrecondition after Shutdown().
-  Status Submit(std::function<void()> task);
+  [[nodiscard]] Status Submit(std::function<void()> task) EXCLUDES(mu_);
 
   /// Stops accepting work, drains already-queued tasks, joins all workers.
   /// Called automatically by the destructor.
-  void Shutdown();
+  void Shutdown() EXCLUDES(mu_);
 
   /// Tasks currently waiting (excludes tasks being executed).
-  size_t QueueDepth() const;
+  size_t QueueDepth() const EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   const size_t queue_capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  mutable Mutex mu_;
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -397,14 +397,14 @@ Application MakeSvm(const AppParams& params) {
 }
 
 const std::vector<Workload>& AllWorkloads() {
-  static const std::vector<Workload>* const kWorkloads = new std::vector<Workload>{
+  static const std::vector<Workload> kWorkloads{
       {"lir", AppParams{40e3, 120e3, 10}, MakeLinearRegression},
       {"lor", AppParams{70e3, 50e3, 50}, MakeLogisticRegression},
       {"pca", AppParams{6e3, 5e3, 100}, MakePca},
       {"rfc", AppParams{100e3, 40e3, 3}, MakeRandomForest},
       {"svm", AppParams{40e3, 80e3, 100}, MakeSvm},
   };
-  return *kWorkloads;
+  return kWorkloads;
 }
 
 StatusOr<Workload> GetWorkload(const std::string& name) {

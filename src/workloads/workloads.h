@@ -31,7 +31,7 @@ struct Workload {
 const std::vector<Workload>& AllWorkloads();
 
 /// Looks a workload up by name.
-StatusOr<Workload> GetWorkload(const std::string& name);
+[[nodiscard]] StatusOr<Workload> GetWorkload(const std::string& name);
 
 /// \brief Linear Regression (HiBench LIR). The developers cache nothing; the
 /// large parsed input is re-read in every iteration (paper Figure 1).

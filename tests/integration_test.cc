@@ -155,7 +155,7 @@ TEST(IntegrationTest, OnlinePathRunsNoExperiments) {
   ASSERT_TRUE(training.ok());
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < 100; ++i) {
-    auto recs = training->trained.Recommend(AppParams{5000 + i, 1000, 50},
+    auto recs = training->trained.Recommend(AppParams{5000.0 + i, 1000, 50},
                                             PaperCluster(1));
     ASSERT_TRUE(recs.ok());
   }

@@ -1,0 +1,237 @@
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace juggler::lint {
+namespace {
+
+bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.rule == rule; }));
+}
+
+// ---------------------------------------------------------------------------
+// nondeterminism
+// ---------------------------------------------------------------------------
+
+TEST(LintNondeterminism, FlagsRandAndRandomDevice) {
+  const std::string bad =
+      "int Jitter() {\n"
+      "  return rand() % 7;\n"
+      "}\n"
+      "std::random_device rd;\n"
+      "std::mt19937 gen(rd());\n";
+  const auto findings = LintFile("src/minispark/engine.cc", bad);
+  EXPECT_EQ(CountRule(findings, "nondeterminism"), 3);
+  EXPECT_EQ(findings[0].line, 2);
+}
+
+TEST(LintNondeterminism, AllowsRngHomeAndNonSrc) {
+  const std::string uses = "std::random_device rd;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/common/random.h",
+                                "#ifndef JUGGLER_COMMON_RANDOM_H_\n"
+                                "#define JUGGLER_COMMON_RANDOM_H_\n" +
+                                    uses + "#endif\n"),
+                       "nondeterminism"));
+  EXPECT_FALSE(HasRule(LintFile("bench/bench_micro.cpp", uses),
+                       "nondeterminism"));
+}
+
+TEST(LintNondeterminism, IgnoresCommentsStringsAndSubstrings) {
+  const std::string ok =
+      "// rand() is banned here\n"
+      "const char* msg = \"do not call rand()\";\n"
+      "int operand = 3;  /* srand */\n"
+      "int random_device_count = 0;  // identifier, not std type? no:\n";
+  // `random_device_count` is a longer identifier; boundary check must not
+  // fire on the `random_device` prefix.
+  EXPECT_FALSE(HasRule(LintFile("src/minispark/engine.cc", ok),
+                       "nondeterminism"));
+}
+
+TEST(LintNondeterminism, NolintSuppresses) {
+  const std::string suppressed =
+      "int x = rand();  // NOLINT(nondeterminism): seeding torture test\n";
+  EXPECT_FALSE(HasRule(LintFile("src/minispark/engine.cc", suppressed),
+                       "nondeterminism"));
+}
+
+// ---------------------------------------------------------------------------
+// iostream-in-header
+// ---------------------------------------------------------------------------
+
+TEST(LintIostream, FlagsIostreamInLibraryHeader) {
+  const std::string bad =
+      "#ifndef JUGGLER_CORE_FOO_H_\n"
+      "#define JUGGLER_CORE_FOO_H_\n"
+      "#include <iostream>\n"
+      "#endif\n";
+  const auto findings = LintFile("src/core/foo.h", bad);
+  EXPECT_TRUE(HasRule(findings, "iostream-in-header"));
+}
+
+TEST(LintIostream, AllowsIostreamInSourcesAndNonSrcHeaders) {
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.cc", "#include <iostream>\n"),
+                       "iostream-in-header"));
+  EXPECT_FALSE(HasRule(
+      LintFile("bench/bench_common.h",
+               "#ifndef JUGGLER_BENCH_BENCH_COMMON_H_\n"
+               "#define JUGGLER_BENCH_BENCH_COMMON_H_\n"
+               "#include <iostream>\n#endif\n"),
+      "iostream-in-header"));
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.cc", "#include <ostream>\n"),
+                       "iostream-in-header"));
+}
+
+// ---------------------------------------------------------------------------
+// naked-new
+// ---------------------------------------------------------------------------
+
+TEST(LintNakedNew, FlagsNewAndDelete) {
+  EXPECT_TRUE(HasRule(LintFile("src/core/foo.cc", "auto* p = new Foo();\n"),
+                      "naked-new"));
+  EXPECT_TRUE(
+      HasRule(LintFile("src/core/foo.cc", "delete p;\n"), "naked-new"));
+  EXPECT_TRUE(
+      HasRule(LintFile("src/core/foo.cc", "delete[] arr;\n"), "naked-new"));
+}
+
+TEST(LintNakedNew, AllowsDeletedMembersMakeUniqueAndNonSrc) {
+  const std::string ok =
+      "Foo(const Foo&) = delete;\n"
+      "Foo& operator=(const Foo&) =\n"
+      "    delete;\n"
+      "auto p = std::make_unique<Foo>();\n"
+      "int renewed = news();\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.h", ok +
+                                std::string("#ifndef JUGGLER_CORE_FOO_H_\n"
+                                            "#define JUGGLER_CORE_FOO_H_\n"
+                                            "#endif\n")),
+                       "naked-new"));
+  EXPECT_FALSE(HasRule(LintFile("tests/foo_test.cc", "auto* p = new Foo();\n"),
+                       "naked-new"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-sync-primitive
+// ---------------------------------------------------------------------------
+
+TEST(LintRawSync, FlagsStdMutexFamilyInService) {
+  const std::string bad =
+      "std::mutex mu;\n"
+      "std::lock_guard<std::mutex> lock(mu);\n"
+      "std::condition_variable cv;\n";
+  const auto findings = LintFile("src/service/foo.cc", bad);
+  EXPECT_EQ(CountRule(findings, "raw-sync-primitive"), 3);
+}
+
+TEST(LintRawSync, AllowsWrappersAndOtherLayers) {
+  EXPECT_FALSE(HasRule(
+      LintFile("src/service/foo.cc", "MutexLock lock(mu_);\nCondVar cv_;\n"),
+      "raw-sync-primitive"));
+  // common/mutex.h legitimately wraps std::mutex; the rule is scoped to
+  // src/service/.
+  EXPECT_FALSE(HasRule(LintFile("src/common/other.cc", "std::mutex mu;\n"),
+                       "raw-sync-primitive"));
+}
+
+// ---------------------------------------------------------------------------
+// unannotated-mutex
+// ---------------------------------------------------------------------------
+
+TEST(LintUnannotatedMutex, FlagsMutexMemberWithoutGuardedBy) {
+  const std::string bad =
+      "#ifndef JUGGLER_SERVICE_FOO_H_\n"
+      "#define JUGGLER_SERVICE_FOO_H_\n"
+      "class Foo {\n"
+      "  mutable Mutex mu_;\n"
+      "  int counter_ = 0;\n"
+      "};\n"
+      "#endif\n";
+  EXPECT_TRUE(HasRule(LintFile("src/service/foo.h", bad),
+                      "unannotated-mutex"));
+}
+
+TEST(LintUnannotatedMutex, SatisfiedByGuardedBy) {
+  const std::string good =
+      "#ifndef JUGGLER_SERVICE_FOO_H_\n"
+      "#define JUGGLER_SERVICE_FOO_H_\n"
+      "class Foo {\n"
+      "  mutable Mutex mu_;\n"
+      "  int counter_ GUARDED_BY(mu_) = 0;\n"
+      "};\n"
+      "#endif\n";
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.h", good),
+                       "unannotated-mutex"));
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(LintIncludeGuard, FlagsPragmaOnce) {
+  EXPECT_TRUE(HasRule(LintFile("src/core/foo.h", "#pragma once\n"),
+                      "include-guard"));
+}
+
+TEST(LintIncludeGuard, FlagsMissingAndMismatchedGuards) {
+  EXPECT_TRUE(
+      HasRule(LintFile("src/core/foo.h", "int x;\n"), "include-guard"));
+  const std::string mismatched =
+      "#ifndef WRONG_GUARD_H\n#define WRONG_GUARD_H\n#endif\n";
+  EXPECT_TRUE(HasRule(LintFile("src/core/foo.h", mismatched),
+                      "include-guard"));
+  const std::string unpaired =
+      "#ifndef JUGGLER_CORE_FOO_H_\n#define SOMETHING_ELSE\n#endif\n";
+  EXPECT_TRUE(
+      HasRule(LintFile("src/core/foo.h", unpaired), "include-guard"));
+}
+
+TEST(LintIncludeGuard, AcceptsCanonicalGuard) {
+  const std::string good =
+      "#ifndef JUGGLER_CORE_FOO_H_\n"
+      "#define JUGGLER_CORE_FOO_H_\n"
+      "int x;\n"
+      "#endif  // JUGGLER_CORE_FOO_H_\n";
+  EXPECT_FALSE(HasRule(LintFile("src/core/foo.h", good), "include-guard"));
+}
+
+TEST(LintIncludeGuard, CanonicalGuardDropsSrcPrefixOnly) {
+  EXPECT_EQ(CanonicalGuard("src/common/status.h"), "JUGGLER_COMMON_STATUS_H_");
+  EXPECT_EQ(CanonicalGuard("bench/bench_common.h"),
+            "JUGGLER_BENCH_BENCH_COMMON_H_");
+  EXPECT_EQ(CanonicalGuard("tools/lint/lint_rules.h"),
+            "JUGGLER_TOOLS_LINT_LINT_RULES_H_");
+}
+
+// ---------------------------------------------------------------------------
+// Formatting and the real tree
+// ---------------------------------------------------------------------------
+
+TEST(LintFormat, FindingFormatIsStable) {
+  const Finding f{"src/core/foo.cc", 12, "naked-new", "message"};
+  EXPECT_EQ(FormatFinding(f), "src/core/foo.cc:12: [naked-new] message");
+}
+
+// The whole point of shipping the linter: the tree it ships in is clean.
+// JUGGLER_SOURCE_DIR is injected by tests/CMakeLists.txt.
+TEST(LintTree, RealSourceTreeIsClean) {
+  const auto findings = LintTree(JUGGLER_SOURCE_DIR);
+  for (const auto& finding : findings) {
+    ADD_FAILURE() << FormatFinding(finding);
+  }
+  EXPECT_TRUE(findings.empty());
+}
+
+}  // namespace
+}  // namespace juggler::lint

@@ -1,0 +1,36 @@
+// juggler_lint: repo-specific static checks the compiler can't express.
+//
+// Usage:
+//   juggler_lint <repo-root>     lint src/, tools/, tests/, bench/, examples/
+//
+// Prints one `file:line: [rule] message` per finding and exits nonzero when
+// anything fires, so it slots directly into CI and the `lint` CMake target:
+//   cmake --build build --target lint
+//
+// The rules themselves live in lint_rules.cc (unit-tested by
+// tests/lint_test.cc); this file is only argument handling and output.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_rules.h"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <repo-root>\n", argv[0]);
+    return 2;
+  }
+  const std::string root = argv[1];
+  const std::vector<juggler::lint::Finding> findings =
+      juggler::lint::LintTree(root);
+  for (const auto& finding : findings) {
+    std::fprintf(stdout, "%s\n",
+                 juggler::lint::FormatFinding(finding).c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "juggler_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,396 @@
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace juggler::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces,
+/// preserving line structure, so token matching never fires inside either.
+std::string StripCommentsAndStrings(const std::string& content) {
+  std::string out = content;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out[i] = out[i + 1] = ' ';
+          ++i;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+      case State::kChar: {
+        const char quote = state == State::kString ? '"' : '\'';
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == quote) {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : content) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+/// Position of `token` in `line` with identifier-boundary checks on both
+/// ends, or npos. `token` may itself contain non-identifier chars ("::").
+size_t FindToken(const std::string& line, const std::string& token,
+                 size_t from = 0) {
+  for (size_t pos = line.find(token, from); pos != std::string::npos;
+       pos = line.find(token, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsIdentChar(line[pos - 1]);
+    const size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !IsIdentChar(line[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+bool HasToken(const std::string& line, const std::string& token) {
+  return FindToken(line, token) != std::string::npos;
+}
+
+/// True when the raw (un-stripped) line carries a suppression marker.
+bool IsSuppressed(const std::string& raw_line) {
+  return raw_line.find("NOLINT") != std::string::npos ||
+         raw_line.find("lint:ignore") != std::string::npos;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool IsHeader(const std::string& rel_path) { return EndsWith(rel_path, ".h"); }
+
+/// Last non-space character before `pos`, or '\0'.
+char PrevNonSpace(const std::string& line, size_t pos) {
+  while (pos > 0) {
+    --pos;
+    if (!std::isspace(static_cast<unsigned char>(line[pos]))) return line[pos];
+  }
+  return '\0';
+}
+
+struct LineCtx {
+  const std::string& rel_path;
+  const std::vector<std::string>& raw;
+  std::vector<Finding>* findings;
+
+  void Add(size_t i, std::string rule, std::string message) const {
+    if (IsSuppressed(raw[i])) return;
+    findings->push_back(Finding{rel_path, static_cast<int>(i + 1),
+                                std::move(rule), std::move(message)});
+  }
+};
+
+void CheckNondeterminism(const LineCtx& ctx,
+                         const std::vector<std::string>& code) {
+  static const char* const kBanned[] = {
+      "rand",        "srand",        "rand_r",
+      "random_device", "mt19937",    "mt19937_64",
+      "default_random_engine",
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (HasToken(code[i], token)) {
+        ctx.Add(i, "nondeterminism",
+                std::string("'") + token +
+                    "' is banned: route randomness through the seedable "
+                    "juggler::Rng (common/random.h) so runs are reproducible");
+        break;  // One finding per line is enough.
+      }
+    }
+  }
+}
+
+void CheckIostreamInHeader(const LineCtx& ctx,
+                           const std::vector<std::string>& code) {
+  for (size_t i = 0; i < code.size(); ++i) {
+    if (code[i].find("#include") != std::string::npos &&
+        code[i].find("<iostream>") != std::string::npos) {
+      ctx.Add(i, "iostream-in-header",
+              "library headers must not include <iostream> (static "
+              "initializer in every TU); use <ostream> or <cstdio>");
+    }
+  }
+}
+
+void CheckNakedNew(const LineCtx& ctx, const std::vector<std::string>& code) {
+  // Last non-space char before position `pos` of line `i`, looking through
+  // preceding lines (a deleted member's `=` can sit on the previous line).
+  const auto prev_char = [&code](size_t i, size_t pos) -> char {
+    char c = PrevNonSpace(code[i], pos);
+    while (c == '\0' && i > 0) {
+      --i;
+      c = PrevNonSpace(code[i], code[i].size());
+    }
+    return c;
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (size_t pos = FindToken(line, "new"); pos != std::string::npos) {
+      ctx.Add(i, "naked-new",
+              "naked 'new' is banned in src/; use std::make_unique / "
+              "std::make_shared");
+    }
+    for (size_t pos = FindToken(line, "delete"); pos != std::string::npos;
+         pos = FindToken(line, "delete", pos + 1)) {
+      if (prev_char(i, pos) == '=') continue;  // `= delete;` member.
+      ctx.Add(i, "naked-new",
+              "naked 'delete' is banned in src/; owning pointers must be "
+              "smart pointers");
+      break;
+    }
+  }
+}
+
+void CheckRawSyncPrimitives(const LineCtx& ctx,
+                            const std::vector<std::string>& code) {
+  static const char* const kBanned[] = {
+      "std::mutex",          "std::lock_guard",  "std::unique_lock",
+      "std::scoped_lock",    "std::shared_mutex", "std::condition_variable",
+      "std::condition_variable_any",
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      // "std::mutex" must not also fire on "std::mutex"-prefixed longer
+      // names; FindToken's boundary check handles that ("std::mutex" inside
+      // "std::mutex_t" fails the right-boundary test).
+      if (HasToken(code[i], token)) {
+        ctx.Add(i, "raw-sync-primitive",
+                std::string(token) +
+                    " is banned in src/service/: use the annotated Mutex / "
+                    "MutexLock / CondVar from common/mutex.h so "
+                    "-Wthread-safety can verify lock discipline");
+        break;
+      }
+    }
+  }
+}
+
+void CheckUnannotatedMutex(const LineCtx& ctx,
+                           const std::vector<std::string>& code) {
+  bool has_guarded_by = false;
+  for (const std::string& line : code) {
+    if (HasToken(line, "GUARDED_BY") || HasToken(line, "PT_GUARDED_BY")) {
+      has_guarded_by = true;
+      break;
+    }
+  }
+  if (has_guarded_by) return;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    // A mutex *data member* declaration: "Mutex name_;" or "mutable Mutex
+    // name;", possibly preceded by indentation. Local variables inside
+    // header-inlined functions rarely declare mutexes; a false positive is
+    // suppressible with a commented NOLINT.
+    size_t pos = FindToken(line, "Mutex");
+    if (pos == std::string::npos) pos = FindToken(line, "std::mutex");
+    if (pos == std::string::npos) continue;
+    const std::string rest = line.substr(pos);
+    // Require "<type> <identifier> ;" shape to skip parameters/usages, and
+    // skip reference/pointer members (non-owning; the pointee's home file
+    // carries the annotations).
+    std::istringstream tokens(rest);
+    std::string type, name;
+    tokens >> type >> name;
+    if (name.empty() || name.back() != ';') continue;
+    if (type.back() == '&' || type.back() == '*' || name.front() == '&' ||
+        name.front() == '*') {
+      continue;
+    }
+    ctx.Add(i, "unannotated-mutex",
+            "mutex member in a header with no GUARDED_BY annotations: "
+            "declare what this lock protects (see "
+            "common/thread_annotations.h)");
+  }
+}
+
+void CheckIncludeGuard(const LineCtx& ctx, const std::vector<std::string>& code,
+                       const std::string& rel_path) {
+  const std::string want = CanonicalGuard(rel_path);
+  int ifndef_line = -1;
+  std::string got;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    if (line.find("#pragma") != std::string::npos &&
+        HasToken(line, "once")) {
+      ctx.Add(i, "include-guard",
+              "#pragma once is banned; use the canonical include guard " +
+                  want);
+      return;
+    }
+    if (ifndef_line < 0) {
+      const size_t pos = line.find("#ifndef");
+      if (pos != std::string::npos) {
+        ifndef_line = static_cast<int>(i);
+        std::istringstream tokens(line.substr(pos + 7));
+        tokens >> got;
+      }
+    }
+  }
+  if (ifndef_line < 0) {
+    ctx.Add(0, "include-guard", "header has no include guard; expected " + want);
+    return;
+  }
+  if (got != want) {
+    ctx.Add(static_cast<size_t>(ifndef_line), "include-guard",
+            "include guard '" + got + "' does not match canonical '" + want +
+                "'");
+    return;
+  }
+  // The #define must follow immediately (allowing one blank line).
+  const size_t limit =
+      std::min(code.size(), static_cast<size_t>(ifndef_line) + 3);
+  for (size_t i = static_cast<size_t>(ifndef_line) + 1; i < limit; ++i) {
+    if (code[i].find("#define") != std::string::npos &&
+        HasToken(code[i], want)) {
+      return;
+    }
+  }
+  ctx.Add(static_cast<size_t>(ifndef_line), "include-guard",
+          "#ifndef " + want + " is not followed by '#define " + want + "'");
+}
+
+}  // namespace
+
+std::string CanonicalGuard(const std::string& rel_path) {
+  std::string path = rel_path;
+  if (StartsWith(path, "src/")) path = path.substr(4);
+  std::string guard = "JUGGLER_";
+  for (char c : path) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      guard.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    } else {
+      guard.push_back('_');
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& content) {
+  std::vector<Finding> findings;
+  const std::vector<std::string> raw = SplitLines(content);
+  const std::vector<std::string> code =
+      SplitLines(StripCommentsAndStrings(content));
+  const LineCtx ctx{rel_path, raw, &findings};
+
+  const bool in_src = StartsWith(rel_path, "src/");
+  const bool in_service = StartsWith(rel_path, "src/service/");
+  const bool is_rng_home = rel_path == "src/common/random.h";
+  const bool is_header = IsHeader(rel_path);
+
+  if (in_src && !is_rng_home) CheckNondeterminism(ctx, code);
+  if (in_src && is_header) CheckIostreamInHeader(ctx, code);
+  if (in_src) CheckNakedNew(ctx, code);
+  if (in_service) CheckRawSyncPrimitives(ctx, code);
+  if (in_src && is_header) CheckUnannotatedMutex(ctx, code);
+  if (is_header) CheckIncludeGuard(ctx, code, rel_path);
+  return findings;
+}
+
+std::vector<Finding> LintTree(const std::string& root) {
+  static const char* const kRoots[] = {"src", "tools", "tests", "bench",
+                                       "examples"};
+  std::vector<Finding> findings;
+  for (const char* top : kRoots) {
+    const fs::path dir = fs::path(root) / top;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc" && ext != ".cpp") continue;
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      const std::string rel =
+          fs::relative(entry.path(), root, ec).generic_string();
+      std::vector<Finding> file_findings = LintFile(rel, buffer.str());
+      findings.insert(findings.end(),
+                      std::make_move_iterator(file_findings.begin()),
+                      std::make_move_iterator(file_findings.end()));
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              return a.line < b.line;
+            });
+  return findings;
+}
+
+std::string FormatFinding(const Finding& f) {
+  std::ostringstream out;
+  out << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  return out.str();
+}
+
+}  // namespace juggler::lint

@@ -1,0 +1,70 @@
+#ifndef JUGGLER_TOOLS_LINT_LINT_RULES_H_
+#define JUGGLER_TOOLS_LINT_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace juggler::lint {
+
+/// One lint violation: `file:line: [rule] message`.
+struct Finding {
+  std::string file;  ///< Repo-relative path, '/' separators.
+  int line = 0;      ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// \brief Repo-specific rules the compiler cannot enforce.
+///
+/// `juggler_lint` is a line/token scanner, not a parser: it strips comments
+/// and string literals, then matches tokens with identifier-boundary checks.
+/// That is deliberate — every rule below is phrasable at the token level, the
+/// tool builds in ~a second with no dependencies, and it runs on every file
+/// of the tree in milliseconds (the `lint` CMake target and the CI lint job).
+///
+/// Rules (rule name — scope — what it catches):
+///  - `nondeterminism` — src/ except common/random.h — `rand()`, `srand()`,
+///    `std::random_device`, `std::mt19937*`, `std::default_random_engine`.
+///    All stochastic behaviour in the simulator must flow through the
+///    seedable `juggler::Rng` (common/random.h) so runs are reproducible;
+///    this matters most in src/minispark/, where a stray `rand()` would make
+///    profiled schedules non-replayable.
+///  - `iostream-in-header` — src/ headers — `#include <iostream>`. Pulls a
+///    static iostream initializer into every translation unit; headers use
+///    `<ostream>`/`<cstdio>` instead.
+///  - `naked-new` — src/ — `new` / `delete` outside smart-pointer factories
+///    (`= delete` member declarations are recognized and allowed).
+///  - `raw-sync-primitive` — src/service/ — `std::mutex`,
+///    `std::lock_guard`, `std::unique_lock`, `std::scoped_lock`,
+///    `std::shared_mutex`, `std::condition_variable`. The serving tier must
+///    use the annotated wrappers from common/mutex.h so clang's
+///    -Wthread-safety analysis can verify lock discipline.
+///  - `unannotated-mutex` — src/ headers — a `Mutex`/`std::mutex` data
+///    member in a file that never uses `GUARDED_BY`: a mutex that guards
+///    nothing the analysis can see is a hole in the static checking.
+///  - `include-guard` — all scanned headers — `#pragma once` (banned; the
+///    repo uses guards) and include guards that do not match the canonical
+///    `JUGGLER_<PATH>_H_` form (path minus a leading `src/`, uppercased,
+///    separators mapped to `_`).
+///
+/// Suppression: a line containing `NOLINT` or `lint:ignore` (typically in a
+/// trailing comment, with the reason) is exempt from line-scoped rules.
+std::vector<Finding> LintFile(const std::string& rel_path,
+                              const std::string& content);
+
+/// Walks `root`'s source directories (src, tools, tests, bench, examples),
+/// lints every .h/.cc/.cpp file, and returns all findings sorted by path.
+/// Build directories and anything outside those five roots are ignored.
+std::vector<Finding> LintTree(const std::string& root);
+
+/// Canonical include-guard macro for a repo-relative header path
+/// (e.g. "src/common/status.h" -> "JUGGLER_COMMON_STATUS_H_").
+std::string CanonicalGuard(const std::string& rel_path);
+
+/// "file:line: [rule] message" — the single format both the CLI and tests
+/// rely on.
+std::string FormatFinding(const Finding& f);
+
+}  // namespace juggler::lint
+
+#endif  // JUGGLER_TOOLS_LINT_LINT_RULES_H_
