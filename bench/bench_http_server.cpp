@@ -1,0 +1,296 @@
+// bench_http_server: drives the HTTP front end (src/net/) over loopback with
+// concurrent keep-alive clients and reports end-to-end req/s — the cost of
+// the socket + parse + route layers on top of the serving tier that
+// bench_service_throughput measures in isolation.
+//
+//   bench_http_server [clients] [requests-per-client] [model-dir]
+//
+// Defaults: 32 clients x 500 requests against a warm prediction cache (the
+// paper's recurring-application scenario, where /v1/recommend answers on the
+// event-loop fast path). Without a model-dir, the five paper workloads are
+// trained into a temporary registry directory first (shared with
+// bench_service_throughput, so the second bench run reuses the artifacts).
+// Acceptance: >= 5000 req/s warm-cache at 32 clients (skipped under
+// sanitizers, which instrument every atomic on the path).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table_printer.h"
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "net/http_recommend_server.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+#include "workloads/workloads.h"
+
+using namespace juggler;  // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Trains any of the five workloads missing from `dir` (same recipe and
+/// directory default as bench_service_throughput, so artifacts are shared).
+void EnsureModels(const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const auto& w : workloads::AllWorkloads()) {
+    const fs::path path = dir / (w.name + service::ModelRegistry::kModelSuffix);
+    if (fs::exists(path)) continue;
+    core::JugglerConfig config;
+    config.time_grid = core::TrainingGrid{
+        {0.4 * w.paper_params.examples, 0.7 * w.paper_params.examples,
+         w.paper_params.examples},
+        {0.4 * w.paper_params.features, 0.7 * w.paper_params.features,
+         w.paper_params.features},
+        w.paper_params.iterations};
+    config.memory_reference = w.paper_params;
+    config.run_options.noise_sigma = 0.0;
+    config.run_options.straggler_prob = 0.0;
+    std::printf("  training %-4s -> %s\n", w.name.c_str(), path.c_str());
+    auto training = core::TrainJuggler(w.name, w.make, config);
+    if (!training.ok()) {
+      std::fprintf(stderr, "training %s failed: %s\n", w.name.c_str(),
+                   training.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::ofstream out(path);
+    if (auto st = core::SaveTrainedJuggler(training->trained, out);
+        !st.ok() || !out) {
+      std::fprintf(stderr, "saving %s failed\n", path.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// One serialized POST /v1/recommend per distinct question: 8 input sizes for
+/// each of the five apps. Clients cycle through these, so after one warm-up
+/// pass every request is a cache hit answered on the event loop.
+std::vector<std::string> BuildWireRequests() {
+  std::vector<std::string> wire;
+  for (const auto& w : workloads::AllWorkloads()) {
+    for (int i = 0; i < 8; ++i) {
+      char body[256];
+      std::snprintf(body, sizeof(body),
+                    "{\"app\":\"%s\",\"params\":{\"examples\":%d,"
+                    "\"features\":%d,\"iterations\":5}}",
+                    w.name.c_str(), 8000 + 2000 * i, 2000 + 500 * i);
+      char request[512];
+      std::snprintf(request, sizeof(request),
+                    "POST /v1/recommend HTTP/1.1\r\n"
+                    "Host: bench\r\n"
+                    "Content-Type: application/json\r\n"
+                    "Content-Length: %zu\r\n"
+                    "\r\n"
+                    "%s",
+                    std::strlen(body), body);
+      wire.emplace_back(request);
+    }
+  }
+  return wire;
+}
+
+/// Blocking keep-alive client: one connection, synchronous request/response.
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      std::fprintf(stderr, "connect failed: %s\n", std::strerror(errno));
+      std::exit(1);
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, 1 /* TCP_NODELAY */, &one, sizeof(one));
+  }
+
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request and reads one full response; returns the HTTP status
+  /// code, or -1 on a transport failure.
+  int RoundTrip(const std::string& request) {
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return -1;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t total = header_end + 4 + ContentLength();
+        if (buffer_.size() >= total) {
+          const int status = std::atoi(buffer_.c_str() + 9);
+          buffer_.erase(0, total);
+          return status;
+        }
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  size_t ContentLength() const {
+    const char* pos = std::strstr(buffer_.c_str(), "Content-Length: ");
+    return pos != nullptr
+               ? static_cast<size_t>(std::atol(pos + std::strlen(
+                                                         "Content-Length: ")))
+               : 0;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 32;
+  const int requests_per_client = argc > 2 ? std::atoi(argv[2]) : 500;
+  const fs::path model_dir =
+      argc > 3 ? fs::path(argv[3])
+               : fs::temp_directory_path() / "juggler_bench_registry";
+  if (clients <= 0 || requests_per_client <= 0) {
+    std::fprintf(stderr,
+                 "usage: %s [clients] [requests-per-client] [model-dir]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::printf("== HTTP serving throughput ==\n");
+  std::printf("registry: %s\n", model_dir.c_str());
+  EnsureModels(model_dir);
+
+  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string());
+  if (auto st = registry->Refresh(); !st.ok()) {
+    std::fprintf(stderr, "registry refresh failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  service::RecommendationService::Options svc_options;
+  svc_options.num_workers = 4;
+  svc_options.queue_capacity = 4096;
+  svc_options.cache.capacity = 1024;
+  auto svc = std::make_shared<service::RecommendationService>(registry,
+                                                              svc_options);
+
+  net::HttpRecommendServer::Options options;
+  options.http.port = 0;  // Ephemeral.
+  options.http.num_handler_threads = 4;
+  options.http.max_connections = static_cast<size_t>(clients) + 16;
+  net::HttpRecommendServer server(registry, svc, options);
+  if (auto st = server.Start(); !st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on 127.0.0.1:%u (%s), %zu models (registry v%llu)\n",
+              server.port(), server.backend().c_str(), registry->size(),
+              static_cast<unsigned long long>(registry->version()));
+
+  const auto wire = BuildWireRequests();
+
+  // Warm-up: one pass over every distinct question fills the prediction
+  // cache, so the timed phase measures the recurring-application fast path.
+  {
+    BenchClient warmer(server.port());
+    for (const auto& request : wire) {
+      if (warmer.RoundTrip(request) != 200) {
+        std::fprintf(stderr, "FAIL: warm-up request did not return 200\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("%d clients x %d requests, %zu distinct questions\n", clients,
+              requests_per_client, wire.size());
+  std::vector<std::thread> threads;
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> rejected{0};
+  const auto start = Clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      BenchClient client(server.port());
+      for (int i = 0; i < requests_per_client; ++i) {
+        const int status =
+            client.RoundTrip(wire[static_cast<size_t>(t + i) % wire.size()]);
+        if (status == 503) {
+          rejected.fetch_add(1);  // Backpressure: a real client retries.
+        } else if (status != 200) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = SecondsSince(start);
+  const uint64_t total = static_cast<uint64_t>(clients) * requests_per_client;
+  const double qps = total / elapsed_s;
+
+  const auto http = server.http_stats();
+  const auto stats = svc->GetStats();
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"requests", std::to_string(total)});
+  table.AddRow({"errors", std::to_string(errors.load())});
+  table.AddRow({"rejected (503)", std::to_string(rejected.load())});
+  table.AddRow({"wall time", TablePrinter::Num(elapsed_s) + " s"});
+  table.AddRow({"req/s", TablePrinter::Num(qps)});
+  table.AddRow({"fast-path answers",
+                std::to_string(http.fast_path) + " / " +
+                    std::to_string(http.requests)});
+  table.AddRow({"connections accepted", std::to_string(http.accepted)});
+  table.AddRow({"cache hit rate",
+                TablePrinter::Num(100.0 * stats.cache.HitRate()) + " %"});
+  table.AddRow({"latency p50",
+                TablePrinter::Num(stats.latency.p50_us) + " us"});
+  table.AddRow({"latency p95",
+                TablePrinter::Num(stats.latency.p95_us) + " us"});
+  table.Print(std::cout);
+
+  server.Stop();
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "FAIL: %llu non-200/503 responses\n",
+                 static_cast<unsigned long long>(errors.load()));
+    return 1;
+  }
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  std::printf("(sanitizer build: req/s acceptance check skipped)\n");
+#else
+  if (clients >= 32 && qps < 5000.0) {
+    std::fprintf(stderr, "FAIL: %.0f req/s < 5000 acceptance floor\n", qps);
+    return 1;
+  }
+#endif
+  std::printf("\nOK\n");
+  return 0;
+}

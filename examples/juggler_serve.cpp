@@ -1,12 +1,25 @@
-// juggler_serve: the online serving subsystem as an interactive CLI — a
-// stand-in for the socket front end a production deployment would put in
-// front of RecommendationService.
+// juggler_serve: the online serving subsystem (§5.5) as a process — an HTTP
+// front end over RecommendationService by default, or an interactive REPL
+// with --stdin.
 //
-//   juggler_serve <model-dir> [--train] [--workers N]
+//   juggler_serve <model-dir> [flags]
 //
-// With --train, any of the five paper workloads missing from <model-dir> is
-// trained offline first (§5.1-§5.4) and saved as <app>.model. The registry
-// then serves queries read from stdin, one per line:
+//   --train             train any missing paper workload into <model-dir>
+//                       (full offline recipe, §5.1-§5.4)
+//   --train-fast        like --train but on a small deterministic grid
+//                       (seconds instead of minutes; for smoke tests)
+//   --host H            bind address            (default 127.0.0.1)
+//   --port P            bind port, 0=ephemeral  (default 8080)
+//   --workers N         evaluation worker threads        (default 4)
+//   --queue-capacity N  evaluation queue slots           (default 1024)
+//   --cache-capacity N  prediction cache entries         (default 4096)
+//   --handler-threads N HTTP handler threads             (default 4)
+//   --eval-delay-ms N   artificial delay before each evaluation (testing
+//                       backpressure; default 0)
+//   --stdin             REPL on stdin instead of the HTTP server
+//
+// Server mode prints "listening on http://HOST:PORT (BACKEND)" once ready
+// and serves until SIGINT/SIGTERM; REPL mode reads one command per line:
 //
 //   <app> <examples> <features> [iterations] [machine-GB]   answer a query
 //   reload      re-scan the model directory (hot, never blocks requests)
@@ -14,23 +27,31 @@
 //   apps        list registered applications
 //   quit        exit
 //
-// Example session:
-//   $ juggler_serve /tmp/models --train
-//   > svm 40000 80000
-//   > stats
-//   > quit
+// Both modes print a serving-stats summary on every clean shutdown (quit,
+// stdin EOF, SIGINT, SIGTERM) and exit 0.
+//
+// Example HTTP session:
+//   $ juggler_serve /tmp/models --train &
+//   $ curl localhost:8080/healthz
+//   $ curl -X POST localhost:8080/v1/recommend
+//       -d '{"app":"svm","params":{"examples":40000,"features":80000}}'
+//   $ curl localhost:8080/metrics
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/juggler.h"
 #include "core/serialization.h"
+#include "net/http_recommend_server.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 #include "workloads/workloads.h"
@@ -41,16 +62,39 @@ namespace {
 
 namespace fs = std::filesystem;
 
+volatile std::sig_atomic_t g_signal = 0;
+
+void OnSignal(int signum) { g_signal = signum; }
+
+/// Installs `OnSignal` without SA_RESTART, so a blocking stdin read in REPL
+/// mode is interrupted (EINTR) and both modes fall through to the stats
+/// summary instead of dying mid-loop.
+void InstallSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = OnSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+}
+
 int Usage() {
-  std::cerr << "usage: juggler_serve <model-dir> [--train] [--workers N]\n"
-               "stdin commands: <app> <examples> <features> [iterations] "
-               "[machine-GB] | reload | stats | apps | quit\n";
+  std::cerr
+      << "usage: juggler_serve <model-dir> [--train|--train-fast] [--host H] "
+         "[--port P]\n"
+         "                     [--workers N] [--queue-capacity N] "
+         "[--cache-capacity N]\n"
+         "                     [--handler-threads N] [--eval-delay-ms N] "
+         "[--stdin]\n"
+         "stdin commands (with --stdin): <app> <examples> <features> "
+         "[iterations] [machine-GB] | reload | stats | apps | quit\n";
   return 2;
 }
 
-/// Trains every paper workload missing from `dir` (the juggler_cli training
-/// recipe: 0.4x-1x of the paper's parameters).
-int TrainMissing(const fs::path& dir) {
+/// Trains every paper workload missing from `dir`. The full recipe is the
+/// juggler_cli one (0.4x-1x of the paper's parameters); `fast` swaps in the
+/// small deterministic grid the tests use, turning minutes into seconds.
+int TrainMissing(const fs::path& dir, bool fast) {
   fs::create_directories(dir);
   for (const auto& w : workloads::AllWorkloads()) {
     const fs::path path = dir / (w.name + service::ModelRegistry::kModelSuffix);
@@ -59,14 +103,22 @@ int TrainMissing(const fs::path& dir) {
       continue;
     }
     core::JugglerConfig config;
-    config.time_grid = core::TrainingGrid{
-        {0.4 * w.paper_params.examples, 0.7 * w.paper_params.examples,
-         w.paper_params.examples},
-        {0.4 * w.paper_params.features, 0.7 * w.paper_params.features,
-         w.paper_params.features},
-        w.paper_params.iterations};
+    if (fast) {
+      config.time_grid =
+          core::TrainingGrid{{4000, 8000, 16000}, {1000, 2000, 4000}, 5};
+      config.run_options.noise_sigma = 0.0;
+      config.run_options.straggler_prob = 0.0;
+    } else {
+      config.time_grid = core::TrainingGrid{
+          {0.4 * w.paper_params.examples, 0.7 * w.paper_params.examples,
+           w.paper_params.examples},
+          {0.4 * w.paper_params.features, 0.7 * w.paper_params.features,
+           w.paper_params.features},
+          w.paper_params.iterations};
+    }
     config.memory_reference = w.paper_params;
-    std::printf("training %s (four offline stages)...\n", w.name.c_str());
+    std::printf("training %s (four offline stages%s)...\n", w.name.c_str(),
+                fast ? ", fast grid" : "");
     auto training = core::TrainJuggler(w.name, w.make, config);
     if (!training.ok()) {
       std::fprintf(stderr, "training %s failed: %s\n", w.name.c_str(),
@@ -106,53 +158,36 @@ void PrintResponse(const service::RecommendRequest& request,
 void PrintStats(const service::RecommendationService::Stats& stats,
                 uint64_t registry_version, size_t registry_size) {
   std::printf(
-      "registry v%llu (%zu models) | requests %llu | hit rate %.1f %% | "
-      "evaluations %llu | rejected %llu\n",
+      "serving stats: registry v%llu (%zu models) | requests %llu | "
+      "hit rate %.1f %% | evaluations %llu | rejected %llu\n",
       static_cast<unsigned long long>(registry_version), registry_size,
       static_cast<unsigned long long>(stats.latency.count),
       100.0 * stats.cache.HitRate(),
       static_cast<unsigned long long>(stats.evaluations),
       static_cast<unsigned long long>(stats.rejected));
-  std::printf("latency: p50 %.1f us | p95 %.1f us | max %.1f us | mean %.1f us\n",
-              stats.latency.p50_us, stats.latency.p95_us, stats.latency.max_us,
-              stats.latency.MeanUs());
+  std::printf(
+      "latency: p50 %.1f us | p95 %.1f us | max %.1f us | mean %.1f us\n",
+      stats.latency.p50_us, stats.latency.p95_us, stats.latency.max_us,
+      stats.latency.MeanUs());
+  for (const auto& [app, s] : stats.per_app) {
+    std::printf("  %-12s requests %llu | hits %llu | misses %llu | "
+                "evaluations %llu | p95 %.1f us\n",
+                app.c_str(), static_cast<unsigned long long>(s.requests),
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.cache_misses),
+                static_cast<unsigned long long>(s.evaluations),
+                s.latency.p95_us);
+  }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const fs::path model_dir = argv[1];
-  bool train = false;
-  int workers = 4;
-  for (int i = 2; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--train") {
-      train = true;
-    } else if (arg == "--workers" && i + 1 < argc) {
-      workers = std::atoi(argv[++i]);
-    } else {
-      return Usage();
-    }
-  }
-
-  if (train) {
-    if (int rc = TrainMissing(model_dir); rc != 0) return rc;
-  }
-
-  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string());
-  if (auto st = registry->Refresh(); !st.ok()) {
-    std::fprintf(stderr, "%s\n", st.ToString().c_str());
-    return 1;
-  }
-  service::RecommendationService::Options options;
-  options.num_workers = workers;
-  service::RecommendationService svc(registry, options);
-
-  std::printf("serving %zu model(s) from %s — try: svm 40000 80000\n",
-              registry->size(), model_dir.c_str());
+int RunRepl(const std::shared_ptr<service::ModelRegistry>& registry,
+            service::RecommendationService& svc) {
+  std::printf("serving %zu model(s) — try: svm 40000 80000\n",
+              registry->size());
   std::string line;
-  while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+  while (g_signal == 0 &&
+         (std::printf("> "), std::fflush(stdout),
+          std::getline(std::cin, line))) {
     std::istringstream in(line);
     std::string command;
     if (!(in >> command)) continue;
@@ -162,9 +197,12 @@ int main(int argc, char** argv) {
         std::printf("reload failed (old models stay active): %s\n",
                     st.ToString().c_str());
       } else {
-        std::printf("registry v%llu: %zu model(s)\n",
-                    static_cast<unsigned long long>(registry->version()),
-                    registry->size());
+        const auto refresh = registry->last_refresh();
+        std::printf(
+            "registry v%llu: %zu model(s) (%zu parsed, %zu reused, "
+            "%zu removed)\n",
+            static_cast<unsigned long long>(registry->version()),
+            registry->size(), refresh.parsed, refresh.reused, refresh.removed);
       }
       continue;
     }
@@ -201,4 +239,112 @@ int main(int argc, char** argv) {
     PrintResponse(request, *response);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const fs::path model_dir = argv[1];
+  bool train = false;
+  bool train_fast = false;
+  bool use_stdin = false;
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  int workers = 4;
+  int queue_capacity = 1024;
+  int cache_capacity = 4096;
+  int handler_threads = 4;
+  int eval_delay_ms = 0;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--train") {
+      train = true;
+    } else if (arg == "--train-fast") {
+      train = train_fast = true;
+    } else if (arg == "--stdin") {
+      use_stdin = true;
+    } else if (arg == "--host" && has_value) {
+      host = argv[++i];
+    } else if (arg == "--port" && has_value) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && has_value) {
+      workers = std::atoi(argv[++i]);
+    } else if (arg == "--queue-capacity" && has_value) {
+      queue_capacity = std::atoi(argv[++i]);
+    } else if (arg == "--cache-capacity" && has_value) {
+      cache_capacity = std::atoi(argv[++i]);
+    } else if (arg == "--handler-threads" && has_value) {
+      handler_threads = std::atoi(argv[++i]);
+    } else if (arg == "--eval-delay-ms" && has_value) {
+      eval_delay_ms = std::atoi(argv[++i]);
+    } else {
+      return Usage();
+    }
+  }
+  if (port < 0 || port > 65535 || workers < 1 || queue_capacity < 1 ||
+      cache_capacity < 1 || handler_threads < 1 || eval_delay_ms < 0) {
+    return Usage();
+  }
+
+  if (train) {
+    if (int rc = TrainMissing(model_dir, train_fast); rc != 0) return rc;
+  }
+
+  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string());
+  if (auto st = registry->Refresh(); !st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return 1;
+  }
+  service::RecommendationService::Options options;
+  options.num_workers = workers;
+  options.queue_capacity = static_cast<size_t>(queue_capacity);
+  options.cache.capacity = static_cast<size_t>(cache_capacity);
+  if (eval_delay_ms > 0) {
+    options.pre_eval_hook = [eval_delay_ms] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(eval_delay_ms));
+    };
+  }
+  auto svc =
+      std::make_shared<service::RecommendationService>(registry, options);
+
+  InstallSignalHandlers();
+
+  int rc = 0;
+  if (use_stdin) {
+    rc = RunRepl(registry, *svc);
+  } else {
+    net::HttpRecommendServer::Options server_options;
+    server_options.http.host = host;
+    server_options.http.port = static_cast<uint16_t>(port);
+    server_options.http.num_handler_threads = handler_threads;
+    net::HttpRecommendServer server(registry, svc, server_options);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving %zu model(s) from %s\n", registry->size(),
+                model_dir.c_str());
+    std::printf("listening on http://%s:%u (%s)\n", host.c_str(),
+                static_cast<unsigned>(server.port()),
+                server.backend().c_str());
+    std::fflush(stdout);
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("\nsignal %d: shutting down\n", static_cast<int>(g_signal));
+    server.Stop();
+    const auto http = server.http_stats();
+    std::printf("http stats: accepted %llu | requests %llu | fast path %llu | "
+                "overload 503 %llu | parse errors %llu | idle closed %llu\n",
+                static_cast<unsigned long long>(http.accepted),
+                static_cast<unsigned long long>(http.requests),
+                static_cast<unsigned long long>(http.fast_path),
+                static_cast<unsigned long long>(http.overload_rejected),
+                static_cast<unsigned long long>(http.parse_errors),
+                static_cast<unsigned long long>(http.idle_closed));
+  }
+  PrintStats(svc->GetStats(), registry->version(), registry->size());
+  return rc;
 }

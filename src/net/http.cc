@@ -1,0 +1,244 @@
+#include "net/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace juggler::net {
+
+namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const std::string& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t')) ++begin;
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t')) --end;
+  return s.substr(begin, end - begin);
+}
+
+bool IsTokenChar(char c) {
+  // RFC 7230 token characters (the ones that matter for methods/headers).
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+         c == '!' || c == '#' || c == '$' || c == '%' || c == '&' ||
+         c == '\'' || c == '*' || c == '+' || c == '-' || c == '.' ||
+         c == '^' || c == '_' || c == '`' || c == '|' || c == '~';
+}
+
+bool IsValidToken(const std::string& s) {
+  return !s.empty() && std::all_of(s.begin(), s.end(), IsTokenChar);
+}
+
+/// Parses a Content-Length value: digits only, no sign, no whitespace inside.
+bool ParseContentLength(const std::string& value, size_t* out) {
+  if (value.empty() || value.size() > 18) return false;
+  size_t result = 0;
+  for (const char c : value) {
+    if (c < '0' || c > '9') return false;
+    result = result * 10 + static_cast<size_t>(c - '0');
+  }
+  *out = result;
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpRequest::FindHeader(const std::string& name) const {
+  for (const auto& [header_name, value] : headers) {
+    if (EqualsIgnoreCase(header_name, name)) return &value;
+  }
+  return nullptr;
+}
+
+std::string HttpRequest::Path() const {
+  const size_t query = target.find('?');
+  return query == std::string::npos ? target : target.substr(0, query);
+}
+
+bool HttpRequest::KeepAlive() const {
+  if (const std::string* connection = FindHeader("Connection")) {
+    if (EqualsIgnoreCase(*connection, "close")) return false;
+    if (EqualsIgnoreCase(*connection, "keep-alive")) return true;
+  }
+  return version == "HTTP/1.1";
+}
+
+HttpResponse HttpResponse::Text(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = std::move(body);
+  return response;
+}
+
+HttpResponse HttpResponse::JsonBody(int status, std::string json) {
+  HttpResponse response;
+  response.status = status;
+  response.content_type = "application/json";
+  response.body = std::move(json);
+  return response;
+}
+
+const char* StatusReason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 204: return "No Content";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 500: return "Internal Server Error";
+    case 501: return "Not Implemented";
+    case 503: return "Service Unavailable";
+    default: return "Unknown";
+  }
+}
+
+std::string SerializeResponse(const HttpResponse& response, bool keep_alive) {
+  std::string out;
+  out.reserve(128 + response.body.size());
+  out.append("HTTP/1.1 ");
+  out.append(std::to_string(response.status));
+  out.push_back(' ');
+  out.append(StatusReason(response.status));
+  out.append("\r\n");
+  out.append("Content-Type: ").append(response.content_type).append("\r\n");
+  out.append("Content-Length: ")
+      .append(std::to_string(response.body.size()))
+      .append("\r\n");
+  out.append("Connection: ")
+      .append(keep_alive ? "keep-alive" : "close")
+      .append("\r\n");
+  for (const auto& [name, value] : response.headers) {
+    out.append(name).append(": ").append(value).append("\r\n");
+  }
+  out.append("\r\n");
+  out.append(response.body);
+  return out;
+}
+
+HttpParser::Result HttpParser::Fail(int status, std::string detail) {
+  failed_ = true;
+  failed_status_ = status;
+  failed_detail_ = detail;
+  buffer_.clear();  // Framing is lost; drop whatever was buffered.
+  Result result;
+  result.state = State::kError;
+  result.error_status = status;
+  result.error_detail = std::move(detail);
+  return result;
+}
+
+HttpParser::Result HttpParser::Next() {
+  if (failed_) {
+    Result result;
+    result.state = State::kError;
+    result.error_status = failed_status_;
+    result.error_detail = failed_detail_;
+    return result;
+  }
+
+  const size_t header_end = buffer_.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (buffer_.size() > limits_.max_header_bytes) {
+      return Fail(413, "header section exceeds " +
+                           std::to_string(limits_.max_header_bytes) +
+                           " bytes");
+    }
+    return Result{};  // kNeedMore
+  }
+  if (header_end > limits_.max_header_bytes) {
+    return Fail(413, "header section exceeds " +
+                         std::to_string(limits_.max_header_bytes) + " bytes");
+  }
+
+  // --- Request line ---------------------------------------------------------
+  HttpRequest request;
+  const size_t line_end = buffer_.find("\r\n");
+  const std::string request_line = buffer_.substr(0, line_end);
+  const size_t sp1 = request_line.find(' ');
+  const size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.find(' ', sp2 + 1) != std::string::npos) {
+    return Fail(400, "malformed request line");
+  }
+  request.method = request_line.substr(0, sp1);
+  request.target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  request.version = request_line.substr(sp2 + 1);
+  if (!IsValidToken(request.method) || request.method.size() > 16) {
+    return Fail(400, "invalid method token");
+  }
+  if (request.target.empty() || request.target[0] != '/') {
+    return Fail(400, "request target must be origin-form (start with '/')");
+  }
+  if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
+    return Fail(400, "unsupported HTTP version '" + request.version + "'");
+  }
+
+  // --- Header fields --------------------------------------------------------
+  bool have_content_length = false;
+  size_t content_length = 0;
+  size_t pos = line_end + 2;
+  while (pos < header_end) {
+    size_t eol = buffer_.find("\r\n", pos);
+    if (eol > header_end) eol = header_end;
+    const std::string line = buffer_.substr(pos, eol - pos);
+    pos = eol + 2;
+    if (line.empty()) continue;
+    if (line[0] == ' ' || line[0] == '\t') {
+      return Fail(400, "obsolete header line folding is not supported");
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Fail(400, "header field without ':'");
+    }
+    std::string name = line.substr(0, colon);
+    std::string value = Trim(line.substr(colon + 1));
+    if (!IsValidToken(name)) return Fail(400, "invalid header field name");
+    if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
+      return Fail(501, "Transfer-Encoding is not supported; use "
+                       "Content-Length");
+    }
+    if (EqualsIgnoreCase(name, "Content-Length")) {
+      size_t parsed = 0;
+      if (!ParseContentLength(value, &parsed)) {
+        return Fail(400, "invalid Content-Length '" + value + "'");
+      }
+      if (have_content_length && parsed != content_length) {
+        return Fail(400, "conflicting Content-Length headers");
+      }
+      have_content_length = true;
+      content_length = parsed;
+    }
+    request.headers.emplace_back(std::move(name), std::move(value));
+  }
+
+  if (content_length > limits_.max_body_bytes) {
+    return Fail(413, "body of " + std::to_string(content_length) +
+                         " bytes exceeds limit of " +
+                         std::to_string(limits_.max_body_bytes));
+  }
+
+  // --- Body -----------------------------------------------------------------
+  const size_t body_start = header_end + 4;
+  if (buffer_.size() < body_start + content_length) {
+    return Result{};  // kNeedMore
+  }
+  request.body = buffer_.substr(body_start, content_length);
+  buffer_.erase(0, body_start + content_length);
+
+  Result result;
+  result.state = State::kReady;
+  result.request = std::move(request);
+  return result;
+}
+
+}  // namespace juggler::net

@@ -1,0 +1,453 @@
+#include "net/http_recommend_server.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+#include "minispark/cluster.h"
+#include "net/json.h"
+
+namespace juggler::net {
+
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kFailedPrecondition:
+      return 503;  // Transient: full queue / not ready. Retry with backoff.
+    default:
+      return 500;
+  }
+}
+
+Json ErrorJson(const Status& status) {
+  Json error = Json::Obj();
+  error.Set("code", Json::Str(CodeName(status.code())))
+      .Set("message", Json::Str(status.message()));
+  return Json::Obj().Set("error", std::move(error));
+}
+
+HttpResponse MethodNotAllowed(const std::string& allow) {
+  HttpResponse response = HttpResponse::JsonBody(
+      405, ErrorJson(Status::InvalidArgument("method not allowed; use " +
+                                             allow))
+               .Dump());
+  response.headers.emplace_back("Allow", allow);
+  return response;
+}
+
+/// Decodes the wire format documented on the class into a service request.
+StatusOr<service::RecommendRequest> ParseRecommendRequest(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  service::RecommendRequest request;
+  const Json* app = json.Find("app");
+  if (app == nullptr || !app->is_string() || app->string_value().empty()) {
+    return Status::InvalidArgument("missing required string field 'app'");
+  }
+  request.app = app->string_value();
+
+  const Json* params = json.Find("params");
+  if (params == nullptr || !params->is_object()) {
+    return Status::InvalidArgument("missing required object field 'params'");
+  }
+  const Json* examples = params->Find("examples");
+  const Json* features = params->Find("features");
+  if (examples == nullptr || !examples->is_number() ||
+      examples->number_value() <= 0.0) {
+    return Status::InvalidArgument("'params.examples' must be a number > 0");
+  }
+  if (features == nullptr || !features->is_number() ||
+      features->number_value() <= 0.0) {
+    return Status::InvalidArgument("'params.features' must be a number > 0");
+  }
+  request.params.examples = examples->number_value();
+  request.params.features = features->number_value();
+  const double iterations = params->NumberOr("iterations", 1.0);
+  if (iterations < 1.0 || iterations > 1e9) {
+    return Status::InvalidArgument("'params.iterations' must be in [1, 1e9]");
+  }
+  request.params.iterations = static_cast<int>(iterations);
+
+  // Machine type: the paper's private-cluster node unless overridden.
+  request.machine_type = minispark::PaperCluster(1);
+  double machine_gb = 12.0;
+  if (const Json* machine = json.Find("machine"); machine != nullptr) {
+    if (!machine->is_object()) {
+      return Status::InvalidArgument("'machine' must be an object");
+    }
+    machine_gb = machine->NumberOr("machine_gb", machine_gb);
+    if (machine_gb <= 0.0) {
+      return Status::InvalidArgument("'machine.machine_gb' must be > 0");
+    }
+  }
+  request.machine_type.executor_memory_bytes = GiB(machine_gb);
+  return request;
+}
+
+Json ResponseJson(const std::string& app,
+                  const service::RecommendResponse& response) {
+  Json recommendations = Json::Arr();
+  for (const core::Recommendation& r : *response.recommendations) {
+    Json item = Json::Obj();
+    item.Set("schedule_id", Json::Number(r.schedule_id))
+        .Set("plan", Json::Str(r.plan.ToString()))
+        .Set("predicted_bytes", Json::Number(r.predicted_bytes))
+        .Set("machines", Json::Number(r.machines))
+        .Set("predicted_time_ms", Json::Number(r.predicted_time_ms))
+        .Set("predicted_cost_machine_min",
+             Json::Number(r.predicted_cost_machine_min));
+    recommendations.Append(std::move(item));
+  }
+  Json out = Json::Obj();
+  out.Set("app", Json::Str(app))
+      .Set("cache_hit", Json::Bool(response.cache_hit))
+      .Set("model_version",
+           Json::Number(static_cast<double>(response.model_version)))
+      .Set("recommendations", std::move(recommendations));
+  return out;
+}
+
+// ---- Prometheus text exposition --------------------------------------------
+
+void AppendLabelValue(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendCounterValue(std::string* out, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out->append(buffer);
+}
+
+void AppendSample(std::string* out, const char* name, const std::string& app,
+                  const char* extra_labels, double value) {
+  out->append(name);
+  if (!app.empty() || extra_labels[0] != '\0') {
+    out->push_back('{');
+    if (!app.empty()) {
+      out->append("app=\"");
+      AppendLabelValue(out, app);
+      out->push_back('"');
+      if (extra_labels[0] != '\0') out->push_back(',');
+    }
+    out->append(extra_labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  if (value == static_cast<double>(static_cast<uint64_t>(value)) &&
+      value >= 0.0 && value < 9.2e18) {
+    AppendCounterValue(out, static_cast<uint64_t>(value));
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    out->append(buffer);
+  }
+  out->push_back('\n');
+}
+
+void AppendHeader(std::string* out, const char* name, const char* type,
+                  const char* help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace
+
+HttpResponse ErrorResponse(const Status& status) {
+  const int http_status = HttpStatusFor(status.code());
+  HttpResponse response =
+      HttpResponse::JsonBody(http_status, ErrorJson(status).Dump());
+  if (http_status == 503) {
+    response.headers.emplace_back("Retry-After", "1");
+  }
+  return response;
+}
+
+HttpRecommendServer::HttpRecommendServer(
+    std::shared_ptr<service::ModelRegistry> registry,
+    std::shared_ptr<service::RecommendationService> service,
+    const Options& options)
+    : registry_(std::move(registry)),
+      service_(std::move(service)),
+      server_(
+          options.http,
+          [this](const HttpRequest& request) { return Handle(request); },
+          [this](const HttpRequest& request) { return HandleFast(request); }) {
+}
+
+Status HttpRecommendServer::Start() { return server_.Start(); }
+
+void HttpRecommendServer::Stop() { server_.Stop(); }
+
+std::optional<HttpResponse> HttpRecommendServer::HandleFast(
+    const HttpRequest& request) {
+  const std::string path = request.Path();
+  if (path == "/healthz" && request.method == "GET") {
+    return HttpResponse::Text(200, "ok\n");
+  }
+  if (path != "/v1/recommend" || request.method != "POST") {
+    return std::nullopt;
+  }
+  // Warm-cache singles are answered right here on the event-loop thread.
+  // Anything that cannot be resolved without a model evaluation (or that is
+  // a batch) falls through to the handler pool.
+  auto json = Json::Parse(request.body);
+  if (!json.ok()) return ErrorResponse(json.status());  // 400, no pool hop.
+  if (json->is_object() && json->Find("requests") != nullptr) {
+    return std::nullopt;
+  }
+  auto parsed = ParseRecommendRequest(*json);
+  if (!parsed.ok()) return ErrorResponse(parsed.status());
+  auto cached = service_->TryRecommendCached(*parsed);
+  if (!cached.has_value()) return std::nullopt;  // Cold key: full path.
+  if (!cached->ok()) return ErrorResponse(cached->status());
+  return HttpResponse::JsonBody(
+      200, ResponseJson(parsed->app, **cached).Dump());
+}
+
+HttpResponse HttpRecommendServer::Handle(const HttpRequest& request) {
+  const std::string path = request.Path();
+  if (path == "/healthz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HttpResponse::Text(200, "ok\n");
+  }
+  if (path == "/v1/recommend") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleRecommend(request);
+  }
+  if (path == "/v1/apps") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return HandleApps();
+  }
+  if (path == "/v1/reload") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleReload();
+  }
+  if (path == "/metrics") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    HttpResponse response = HttpResponse::Text(200, MetricsText());
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    return response;
+  }
+  return ErrorResponse(Status::NotFound("no route for " + path));
+}
+
+HttpResponse HttpRecommendServer::HandleRecommend(const HttpRequest& request) {
+  auto json = Json::Parse(request.body);
+  if (!json.ok()) return ErrorResponse(json.status());
+
+  const Json* batch =
+      json->is_object() ? json->Find("requests") : nullptr;
+  if (batch == nullptr) {
+    auto parsed = ParseRecommendRequest(*json);
+    if (!parsed.ok()) return ErrorResponse(parsed.status());
+    auto response = service_->Recommend(*parsed);
+    if (!response.ok()) return ErrorResponse(response.status());
+    return HttpResponse::JsonBody(200,
+                                  ResponseJson(parsed->app, *response).Dump());
+  }
+
+  // Batch: every element must be well-formed (a malformed element is a
+  // client bug and fails the whole request with 400); service-level errors
+  // (unknown app, shed load) come back per slot.
+  if (!batch->is_array()) {
+    return ErrorResponse(
+        Status::InvalidArgument("'requests' must be an array"));
+  }
+  std::vector<service::RecommendRequest> requests;
+  requests.reserve(batch->array_items().size());
+  for (size_t i = 0; i < batch->array_items().size(); ++i) {
+    auto parsed = ParseRecommendRequest(batch->array_items()[i]);
+    if (!parsed.ok()) {
+      return ErrorResponse(
+          Status::InvalidArgument("requests[" + std::to_string(i) +
+                                  "]: " + parsed.status().message()));
+    }
+    requests.push_back(std::move(parsed).value());
+  }
+  const auto responses = service_->RecommendBatch(requests);
+  Json results = Json::Arr();
+  for (size_t i = 0; i < responses.size(); ++i) {
+    if (responses[i].ok()) {
+      results.Append(ResponseJson(requests[i].app, *responses[i]));
+    } else {
+      results.Append(ErrorJson(responses[i].status()));
+    }
+  }
+  return HttpResponse::JsonBody(
+      200, Json::Obj().Set("results", std::move(results)).Dump());
+}
+
+HttpResponse HttpRecommendServer::HandleApps() const {
+  Json apps = Json::Arr();
+  for (const std::string& name : registry_->AppNames()) {
+    apps.Append(Json::Str(name));
+  }
+  Json out = Json::Obj();
+  out.Set("version", Json::Number(static_cast<double>(registry_->version())))
+      .Set("apps", std::move(apps));
+  return HttpResponse::JsonBody(200, out.Dump());
+}
+
+HttpResponse HttpRecommendServer::HandleReload() {
+  if (Status status = registry_->Refresh(); !status.ok()) {
+    return ErrorResponse(status);
+  }
+  const auto refresh = registry_->last_refresh();
+  Json stats = Json::Obj();
+  stats.Set("scanned", Json::Number(static_cast<double>(refresh.scanned)))
+      .Set("parsed", Json::Number(static_cast<double>(refresh.parsed)))
+      .Set("reused", Json::Number(static_cast<double>(refresh.reused)))
+      .Set("removed", Json::Number(static_cast<double>(refresh.removed)));
+  Json out = Json::Obj();
+  out.Set("version", Json::Number(static_cast<double>(registry_->version())))
+      .Set("models", Json::Number(static_cast<double>(registry_->size())))
+      .Set("refresh", std::move(stats));
+  return HttpResponse::JsonBody(200, out.Dump());
+}
+
+std::string HttpRecommendServer::MetricsText() const {
+  const service::RecommendationService::Stats stats = service_->GetStats();
+  const HttpServer::Stats http = server_.GetStats();
+  std::string out;
+  out.reserve(4096);
+
+  AppendHeader(&out, "juggler_requests_total", "counter",
+               "Recommendation requests answered, by application.");
+  for (const auto& [app, s] : stats.per_app) {
+    AppendSample(&out, "juggler_requests_total", app, "",
+                 static_cast<double>(s.requests));
+  }
+  AppendHeader(&out, "juggler_cache_hits_total", "counter",
+               "Requests answered from the prediction cache, by application.");
+  for (const auto& [app, s] : stats.per_app) {
+    AppendSample(&out, "juggler_cache_hits_total", app, "",
+                 static_cast<double>(s.cache_hits));
+  }
+  AppendHeader(&out, "juggler_cache_misses_total", "counter",
+               "Requests that required a model evaluation, by application.");
+  for (const auto& [app, s] : stats.per_app) {
+    AppendSample(&out, "juggler_cache_misses_total", app, "",
+                 static_cast<double>(s.cache_misses));
+  }
+  AppendHeader(&out, "juggler_evaluations_total", "counter",
+               "Model evaluations run on workers, by application.");
+  for (const auto& [app, s] : stats.per_app) {
+    AppendSample(&out, "juggler_evaluations_total", app, "",
+                 static_cast<double>(s.evaluations));
+  }
+  AppendHeader(&out, "juggler_request_latency_us", "summary",
+               "End-to-end request latency in microseconds, by application.");
+  for (const auto& [app, s] : stats.per_app) {
+    AppendSample(&out, "juggler_request_latency_us", app, "quantile=\"0.5\"",
+                 s.latency.p50_us);
+    AppendSample(&out, "juggler_request_latency_us", app, "quantile=\"0.95\"",
+                 s.latency.p95_us);
+    AppendSample(&out, "juggler_request_latency_us_sum", app, "",
+                 s.latency.sum_us);
+    AppendSample(&out, "juggler_request_latency_us_count", app, "",
+                 static_cast<double>(s.latency.count));
+  }
+
+  AppendHeader(&out, "juggler_requests_rejected_total", "counter",
+               "Requests shed because the evaluation queue was full.");
+  AppendSample(&out, "juggler_requests_rejected_total", "", "",
+               static_cast<double>(stats.rejected));
+
+  AppendHeader(&out, "juggler_prediction_cache_hits_total", "counter",
+               "Prediction cache hits (all applications).");
+  AppendSample(&out, "juggler_prediction_cache_hits_total", "", "",
+               static_cast<double>(stats.cache.hits));
+  AppendHeader(&out, "juggler_prediction_cache_misses_total", "counter",
+               "Prediction cache misses (all applications).");
+  AppendSample(&out, "juggler_prediction_cache_misses_total", "", "",
+               static_cast<double>(stats.cache.misses));
+  AppendHeader(&out, "juggler_prediction_cache_evictions_total", "counter",
+               "Prediction cache LRU evictions.");
+  AppendSample(&out, "juggler_prediction_cache_evictions_total", "", "",
+               static_cast<double>(stats.cache.evictions));
+  AppendHeader(&out, "juggler_prediction_cache_size", "gauge",
+               "Entries currently resident in the prediction cache.");
+  AppendSample(&out, "juggler_prediction_cache_size", "", "",
+               static_cast<double>(stats.cache.size));
+
+  AppendHeader(&out, "juggler_registry_version", "gauge",
+               "Model registry snapshot version.");
+  AppendSample(&out, "juggler_registry_version", "", "",
+               static_cast<double>(registry_->version()));
+  AppendHeader(&out, "juggler_registry_models", "gauge",
+               "Models registered for serving.");
+  AppendSample(&out, "juggler_registry_models", "", "",
+               static_cast<double>(registry_->size()));
+
+  AppendHeader(&out, "juggler_http_connections_accepted_total", "counter",
+               "TCP connections accepted.");
+  AppendSample(&out, "juggler_http_connections_accepted_total", "", "",
+               static_cast<double>(http.accepted));
+  AppendHeader(&out, "juggler_http_connections_active", "gauge",
+               "TCP connections currently open.");
+  AppendSample(&out, "juggler_http_connections_active", "", "",
+               static_cast<double>(http.active));
+  AppendHeader(&out, "juggler_http_requests_total", "counter",
+               "HTTP requests parsed.");
+  AppendSample(&out, "juggler_http_requests_total", "", "",
+               static_cast<double>(http.requests));
+  AppendHeader(&out, "juggler_http_fast_path_total", "counter",
+               "HTTP requests answered inline on the event loop.");
+  AppendSample(&out, "juggler_http_fast_path_total", "", "",
+               static_cast<double>(http.fast_path));
+  AppendHeader(&out, "juggler_http_overload_rejected_total", "counter",
+               "HTTP requests answered 503 by the dispatch-queue guard.");
+  AppendSample(&out, "juggler_http_overload_rejected_total", "", "",
+               static_cast<double>(http.overload_rejected));
+  AppendHeader(&out, "juggler_http_parse_errors_total", "counter",
+               "HTTP protocol errors (400/413/501).");
+  AppendSample(&out, "juggler_http_parse_errors_total", "", "",
+               static_cast<double>(http.parse_errors));
+  AppendHeader(&out, "juggler_http_idle_closed_total", "counter",
+               "Connections closed by the idle sweeper.");
+  AppendSample(&out, "juggler_http_idle_closed_total", "", "",
+               static_cast<double>(http.idle_closed));
+  return out;
+}
+
+}  // namespace juggler::net

@@ -1,0 +1,87 @@
+#ifndef JUGGLER_NET_HTTP_RECOMMEND_SERVER_H_
+#define JUGGLER_NET_HTTP_RECOMMEND_SERVER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/http_server.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+
+namespace juggler::net {
+
+/// \brief The §5.5 online path over HTTP: routes RecommendationService +
+/// ModelRegistry behind a small JSON API and a Prometheus metrics endpoint.
+///
+/// Endpoints:
+///   POST /v1/recommend   one question, or {"requests":[...]} for a batch
+///   GET  /v1/apps        registered application names + registry version
+///   POST /v1/reload      hot-reload the model directory (incremental)
+///   GET  /healthz        liveness probe ("ok")
+///   GET  /metrics        Prometheus text format (per-app request/cache/
+///                        latency series + cache/registry/http globals)
+///
+/// Wire format (single request):
+///   {"app": "svm",
+///    "params": {"examples": 40000, "features": 80000, "iterations": 1},
+///    "machine": {"machine_gb": 12}}          // optional; paper node default
+///
+/// Backpressure: a full RecommendationService queue surfaces as HTTP 503
+/// with Retry-After (the ResourceExhausted contract, verbatim at the edge);
+/// the HttpServer applies the same policy when its own dispatch queue fills.
+///
+/// Fast path: /healthz and warm-cache /v1/recommend singles are answered on
+/// the event-loop thread via RecommendationService::TryRecommendCached() —
+/// no handler-pool hop for the recurring-application case the paper targets.
+class HttpRecommendServer {
+ public:
+  struct Options {
+    HttpServer::Options http;
+  };
+
+  HttpRecommendServer(std::shared_ptr<service::ModelRegistry> registry,
+                      std::shared_ptr<service::RecommendationService> service,
+                      const Options& options);
+
+  HttpRecommendServer(const HttpRecommendServer&) = delete;
+  HttpRecommendServer& operator=(const HttpRecommendServer&) = delete;
+
+  [[nodiscard]] Status Start();
+  void Stop();
+
+  uint16_t port() const { return server_.port(); }
+  const std::string& backend() const { return server_.backend(); }
+  HttpServer::Stats http_stats() const { return server_.GetStats(); }
+
+  /// Full routing of one request (handler-pool path). Public so tests can
+  /// exercise routes without a socket.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Event-loop fast path: answers /healthz and warm-cache recommend
+  /// singles inline; nullopt falls through to Handle() on the pool.
+  std::optional<HttpResponse> HandleFast(const HttpRequest& request);
+
+  /// The Prometheus exposition text served at /metrics.
+  std::string MetricsText() const;
+
+ private:
+  HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleApps() const;
+  HttpResponse HandleReload();
+
+  std::shared_ptr<service::ModelRegistry> registry_;
+  std::shared_ptr<service::RecommendationService> service_;
+  HttpServer server_;
+};
+
+/// Maps a Status to the HTTP status code + JSON error body this API uses:
+/// InvalidArgument/OutOfRange -> 400, NotFound -> 404, ResourceExhausted /
+/// FailedPrecondition -> 503 (with Retry-After), everything else -> 500.
+HttpResponse ErrorResponse(const Status& status);
+
+}  // namespace juggler::net
+
+#endif  // JUGGLER_NET_HTTP_RECOMMEND_SERVER_H_

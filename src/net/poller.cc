@@ -1,0 +1,153 @@
+#include "net/poller.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <map>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#endif
+
+namespace juggler::net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+#if defined(__linux__)
+
+class EpollPoller final : public Poller {
+ public:
+  EpollPoller() : epoll_fd_(::epoll_create1(EPOLL_CLOEXEC)) {}
+  ~EpollPoller() override {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  }
+
+  Status Add(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_ADD, fd, want_read, want_write);
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    return Control(EPOLL_CTL_MOD, fd, want_read, want_write);
+  }
+
+  void Remove(int fd) override {
+    epoll_event event{};
+    (void)::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, &event);
+  }
+
+  Status Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    epoll_event ready[kMaxEvents];
+    int n;
+    do {
+      n = ::epoll_wait(epoll_fd_, ready, kMaxEvents, timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("epoll_wait");
+    events->reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      Event event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.error = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+  const char* backend_name() const override { return "epoll"; }
+
+ private:
+  static constexpr int kMaxEvents = 128;
+
+  Status Control(int op, int fd, bool want_read, bool want_write) {
+    if (epoll_fd_ < 0) return Status::Internal("epoll_create1 failed");
+    epoll_event event{};
+    event.data.fd = fd;
+    if (want_read) event.events |= EPOLLIN;
+    if (want_write) event.events |= EPOLLOUT;
+    if (::epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
+      return Errno("epoll_ctl");
+    }
+    return Status::OK();
+  }
+
+  int epoll_fd_;
+};
+
+#endif  // defined(__linux__)
+
+class PollPoller final : public Poller {
+ public:
+  Status Add(int fd, bool want_read, bool want_write) override {
+    interest_[fd] = Mask(want_read, want_write);
+    return Status::OK();
+  }
+
+  Status Update(int fd, bool want_read, bool want_write) override {
+    const auto it = interest_.find(fd);
+    if (it == interest_.end()) {
+      return Status::InvalidArgument("fd not registered with poller");
+    }
+    it->second = Mask(want_read, want_write);
+    return Status::OK();
+  }
+
+  void Remove(int fd) override { interest_.erase(fd); }
+
+  Status Wait(int timeout_ms, std::vector<Event>* events) override {
+    events->clear();
+    pollfds_.clear();
+    pollfds_.reserve(interest_.size());
+    for (const auto& [fd, mask] : interest_) {
+      pollfds_.push_back(pollfd{fd, mask, 0});
+    }
+    int n;
+    do {
+      n = ::poll(pollfds_.data(), pollfds_.size(), timeout_ms);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Errno("poll");
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      Event event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.error = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+  const char* backend_name() const override { return "poll"; }
+
+ private:
+  static short Mask(bool want_read, bool want_write) {
+    short mask = 0;
+    if (want_read) mask |= POLLIN;
+    if (want_write) mask |= POLLOUT;
+    return mask;
+  }
+
+  std::map<int, short> interest_;
+  std::vector<pollfd> pollfds_;  ///< Scratch, rebuilt each Wait().
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> Poller::Create(bool force_poll) {
+#if defined(__linux__)
+  if (!force_poll) return std::make_unique<EpollPoller>();
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+}  // namespace juggler::net

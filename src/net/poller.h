@@ -1,0 +1,59 @@
+#ifndef JUGGLER_NET_POLLER_H_
+#define JUGGLER_NET_POLLER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+
+namespace juggler::net {
+
+/// \brief Readiness-notification backend for the event loop: epoll on Linux,
+/// poll(2) everywhere (and on Linux when forced, so the fallback stays
+/// tested on the platform CI actually runs).
+///
+/// Level-triggered semantics on both backends: an fd with unread input (or
+/// writable space, if write interest is registered) is reported again on
+/// every Wait() until the condition clears. Not thread-safe — owned and
+/// driven by the event-loop thread only.
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    /// Error/hangup on the fd (EPOLLERR/EPOLLHUP, POLLERR/POLLHUP/POLLNVAL).
+    /// The owner should close the connection.
+    bool error = false;
+  };
+
+  virtual ~Poller() = default;
+
+  /// Registers `fd`. `want_write` is typically off until a short write
+  /// leaves output buffered.
+  [[nodiscard]] virtual Status Add(int fd, bool want_read,
+                                   bool want_write) = 0;
+
+  /// Changes the interest set of a registered fd.
+  [[nodiscard]] virtual Status Update(int fd, bool want_read,
+                                      bool want_write) = 0;
+
+  /// Unregisters `fd` (safe to call right before closing it).
+  virtual void Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and fills `events` with
+  /// ready fds (cleared first). EINTR is retried internally.
+  [[nodiscard]] virtual Status Wait(int timeout_ms,
+                                    std::vector<Event>* events) = 0;
+
+  /// "epoll" or "poll" — surfaced in logs and server stats.
+  virtual const char* backend_name() const = 0;
+
+  /// Creates the best backend for this platform; `force_poll` selects the
+  /// portable poll(2) implementation even where epoll is available.
+  static std::unique_ptr<Poller> Create(bool force_poll = false);
+};
+
+}  // namespace juggler::net
+
+#endif  // JUGGLER_NET_POLLER_H_

@@ -1,0 +1,51 @@
+#ifndef JUGGLER_NET_SOCKET_UTIL_H_
+#define JUGGLER_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace juggler::net {
+
+/// \brief Thin Status-returning wrappers over the POSIX socket calls.
+///
+/// All raw socket syscalls in the repository live in src/net/ (enforced by
+/// the `raw-socket` lint rule); everything above this file works with file
+/// descriptors and Status.
+
+/// Creates a non-blocking, close-on-exec listening TCP socket bound to
+/// `host:port` (SO_REUSEADDR set; `host` must be a numeric IPv4 address such
+/// as "127.0.0.1" or "0.0.0.0"; port 0 asks the kernel for an ephemeral
+/// port — read it back with LocalPort()).
+[[nodiscard]] StatusOr<int> ListenTcp(const std::string& host, uint16_t port,
+                                      int backlog = 128);
+
+/// The port a bound socket actually listens on.
+[[nodiscard]] StatusOr<uint16_t> LocalPort(int fd);
+
+/// Sets O_NONBLOCK on `fd`.
+[[nodiscard]] Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm (best effort; small RPC-style exchanges).
+void SetTcpNoDelay(int fd);
+
+/// Accepts one pending connection as a non-blocking socket. Returns -1 (not
+/// an error) when the accept queue is empty (EAGAIN), an error Status on
+/// real failures.
+[[nodiscard]] StatusOr<int> AcceptNonBlocking(int listen_fd);
+
+/// Reads into `buffer`. Returns bytes read, 0 on orderly peer shutdown, -1
+/// when the socket has no data right now (EAGAIN); error Status otherwise.
+[[nodiscard]] StatusOr<int> ReadSome(int fd, char* buffer, size_t size);
+
+/// Writes from `data`. Returns bytes written (possibly short), -1 when the
+/// socket buffer is full (EAGAIN); error Status otherwise. SIGPIPE is
+/// suppressed (a closed peer surfaces as an error Status instead).
+[[nodiscard]] StatusOr<int> WriteSome(int fd, const char* data, size_t size);
+
+void CloseFd(int fd);
+
+}  // namespace juggler::net
+
+#endif  // JUGGLER_NET_SOCKET_UTIL_H_

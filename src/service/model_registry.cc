@@ -1,5 +1,7 @@
 #include "service/model_registry.h"
 
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <utility>
@@ -19,6 +21,7 @@ Status ModelRegistry::Refresh() {
   if (!fs::is_directory(directory_, ec)) {
     return Status::NotFound("model directory not found: " + directory_);
   }
+  const auto previous = CurrentSnapshot();
 
   // Build the replacement snapshot fully before publishing it, so concurrent
   // Lookup() calls only ever see complete registries.
@@ -34,30 +37,73 @@ Status ModelRegistry::Refresh() {
     return Status::NotFound("cannot scan model directory " + directory_ + ": " +
                             ec.message());
   }
+
+  RefreshStats refresh;
+  refresh.scanned = paths.size();
   for (const fs::path& path : paths) {
-    std::ifstream in(path);
-    if (!in) {
-      return Status::NotFound("cannot read model artifact " + path.string());
+    const auto mtime = fs::last_write_time(path, ec);
+    const uintmax_t size = fs::file_size(path, ec);
+    if (ec) {
+      return Status::NotFound("cannot stat model artifact " + path.string() +
+                              ": " + ec.message());
     }
-    auto trained = core::LoadTrainedJuggler(in);
-    if (!trained.ok()) {
-      return Status(trained.status().code(),
-                    path.string() + ": " + trained.status().message());
+    Artifact artifact;
+    artifact.mtime_ns = static_cast<int64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            mtime.time_since_epoch())
+            .count());
+    artifact.file_size = static_cast<uint64_t>(size);
+
+    // Unchanged fingerprint: carry the parsed model over by pointer; the
+    // file is not opened at all.
+    const auto old_it = previous->artifacts.find(path.string());
+    if (old_it != previous->artifacts.end() &&
+        old_it->second.mtime_ns == artifact.mtime_ns &&
+        old_it->second.file_size == artifact.file_size) {
+      artifact.app = old_it->second.app;
+      artifact.model = old_it->second.model;
+      ++refresh.reused;
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        return Status::NotFound("cannot read model artifact " + path.string());
+      }
+      auto trained = core::LoadTrainedJuggler(in);
+      if (!trained.ok()) {
+        return Status(trained.status().code(),
+                      path.string() + ": " + trained.status().message());
+      }
+      artifact.app = trained->app_name();
+      artifact.model = std::make_shared<const core::TrainedJuggler>(
+          std::move(trained).value());
+      ++refresh.parsed;
     }
-    const std::string app = trained->app_name();
-    auto model =
-        std::make_shared<const core::TrainedJuggler>(std::move(trained).value());
-    if (!next->models.emplace(app, std::move(model)).second) {
-      return Status::InvalidArgument("duplicate model for app '" + app +
-                                     "' (second artifact: " + path.string() +
-                                     ")");
+
+    if (!next->models.emplace(artifact.app, artifact.model).second) {
+      return Status::InvalidArgument(
+          "duplicate model for app '" + artifact.app +
+          "' (second artifact: " + path.string() + ")");
     }
+    next->artifacts.emplace(path.string(), std::move(artifact));
+  }
+  for (const auto& [path, artifact] : previous->artifacts) {
+    if (next->artifacts.find(path) == next->artifacts.end()) ++refresh.removed;
   }
 
   MutexLock lock(mu_);
-  next->version = snapshot_->version + 1;
-  snapshot_ = std::move(next);
+  if (refresh.Changed() || snapshot_->version == 0) {
+    next->version = snapshot_->version + 1;
+    snapshot_ = std::move(next);
+  }
+  // else: a no-op scan — keep the published snapshot (and its version) so
+  // version-keyed caches stay warm.
+  last_refresh_ = refresh;
   return Status::OK();
+}
+
+ModelRegistry::RefreshStats ModelRegistry::last_refresh() const {
+  MutexLock lock(mu_);
+  return last_refresh_;
 }
 
 std::shared_ptr<const ModelRegistry::Snapshot> ModelRegistry::CurrentSnapshot()

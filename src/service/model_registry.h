@@ -29,9 +29,16 @@ namespace juggler::service {
 ///    registry: `Lookup()` grabs a `shared_ptr` to the current snapshot, so
 ///    in-flight requests keep using the model they resolved even while a
 ///    `Refresh()` replaces it.
-///  - Each successful refresh bumps `version()`; the serving layer folds the
-///    version into cache keys so memoized predictions from a replaced model
-///    are never served.
+///  - Refresh is incremental: artifacts whose (mtime, size) fingerprint is
+///    unchanged since the previous snapshot are carried over by pointer —
+///    the file is not re-read or re-parsed. `last_refresh()` reports what
+///    the last scan actually did (parsed vs. reused vs. removed).
+///  - A refresh that parsed or removed at least one artifact bumps
+///    `version()`; a no-op refresh (nothing changed on disk) keeps both the
+///    snapshot and the version, so version-keyed prediction caches stay warm
+///    across periodic reloads. The serving layer folds the version into
+///    cache keys so memoized predictions from a replaced model are never
+///    served.
 class ModelRegistry {
  public:
   /// File-name suffix of artifacts the registry scans for.
@@ -39,9 +46,21 @@ class ModelRegistry {
 
   explicit ModelRegistry(std::string directory);
 
-  /// Re-scans the directory. See the class comment for atomicity semantics.
-  /// A missing or unreadable directory is NotFound.
+  /// Re-scans the directory. See the class comment for atomicity and
+  /// incrementality semantics. A missing or unreadable directory is NotFound.
   [[nodiscard]] Status Refresh() EXCLUDES(mu_);
+
+  /// What the most recent successful Refresh() did.
+  struct RefreshStats {
+    size_t scanned = 0;  ///< Artifact files seen in the directory.
+    size_t parsed = 0;   ///< Files read + deserialized (new or changed).
+    size_t reused = 0;   ///< Models carried over without touching the file.
+    size_t removed = 0;  ///< Artifacts that disappeared from the directory.
+
+    bool Changed() const { return parsed > 0 || removed > 0; }
+  };
+
+  RefreshStats last_refresh() const EXCLUDES(mu_);
 
   /// Returns the model for `app`, or NotFound (message lists known apps) if
   /// no artifact declared that name.
@@ -72,16 +91,29 @@ class ModelRegistry {
   const std::string& directory() const { return directory_; }
 
  private:
+  /// One loaded artifact plus the on-disk fingerprint it was parsed from.
+  /// An unchanged fingerprint on the next scan reuses `model` untouched.
+  struct Artifact {
+    std::string app;
+    std::shared_ptr<const core::TrainedJuggler> model;
+    int64_t mtime_ns = 0;
+    uint64_t file_size = 0;
+  };
+
   struct Snapshot {
     uint64_t version = 0;
+    /// Artifacts keyed by absolute file path (the scan unit).
+    std::map<std::string, Artifact> artifacts;
+    /// Lookup view: app name -> model, derived from `artifacts`.
     std::map<std::string, std::shared_ptr<const core::TrainedJuggler>> models;
   };
 
   std::shared_ptr<const Snapshot> CurrentSnapshot() const EXCLUDES(mu_);
 
   const std::string directory_;
-  mutable Mutex mu_;  ///< Guards the snapshot pointer swap only.
+  mutable Mutex mu_;  ///< Guards the snapshot pointer swap + refresh stats.
   std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
+  RefreshStats last_refresh_ GUARDED_BY(mu_);
 };
 
 }  // namespace juggler::service

@@ -51,6 +51,16 @@ PredictionCache::Value PredictionCache::Get(const std::string& key) {
   return it->second->second;
 }
 
+PredictionCache::Value PredictionCache::Peek(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  MutexLock lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;  // Not a counted miss.
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second->second;
+}
+
 void PredictionCache::Put(const std::string& key, Value value) {
   Shard& shard = ShardFor(key);
   MutexLock lock(shard.mu);
@@ -87,6 +97,16 @@ PredictionCache::Stats PredictionCache::GetStats() const {
     stats.size += shard->lru.size();
   }
   return stats;
+}
+
+std::vector<size_t> PredictionCache::ShardSizes() const {
+  std::vector<size_t> sizes;
+  sizes.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    sizes.push_back(shard->lru.size());
+  }
+  return sizes;
 }
 
 std::string PredictionCache::MakeKey(

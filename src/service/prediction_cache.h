@@ -56,6 +56,12 @@ class PredictionCache {
   /// Returns the cached value and refreshes its recency, or nullptr on miss.
   Value Get(const std::string& key);
 
+  /// Like Get(), but a miss is not counted in Stats. For opportunistic
+  /// probes (e.g. an event-loop fast path that falls through to the full
+  /// request path on a miss, where the authoritative Get() then counts the
+  /// one real miss); a hit still refreshes recency and counts as a hit.
+  Value Peek(const std::string& key);
+
   /// Inserts (or refreshes) `key`, evicting the shard's least recently used
   /// entry when the shard is at capacity.
   void Put(const std::string& key, Value value);
@@ -63,6 +69,12 @@ class PredictionCache {
   void Clear();
 
   Stats GetStats() const;
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// Entry count per shard, in shard order. Diagnostic view used to verify
+  /// that MakeKey() spreads keys across shards instead of piling onto one.
+  std::vector<size_t> ShardSizes() const;
 
   /// Exact binary fingerprint of one recommendation question. Includes the
   /// registry version so a hot-reloaded model can never serve a stale

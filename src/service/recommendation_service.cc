@@ -30,10 +30,19 @@ RecommendationService::~RecommendationService() {
   pool_->Shutdown();
 }
 
+RecommendationService::AppCounters& RecommendationService::CountersFor(
+    const std::string& app) {
+  MutexLock lock(apps_mu_);
+  auto& node = app_counters_[app];
+  if (!node) node = std::make_unique<AppCounters>();
+  return *node;
+}
+
 StatusOr<RecommendResponse> RecommendationService::EvaluateNow(
     const ModelRegistry::Resolved& resolved, const RecommendRequest& request,
-    const std::string& key) {
+    const std::string& key, AppCounters& app_counters) {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
+  app_counters.evaluations.fetch_add(1, std::memory_order_relaxed);
   auto recs = resolved.model->Recommend(request.params, request.machine_type);
   if (!recs.ok()) return recs.status();
   auto value = std::make_shared<const std::vector<core::Recommendation>>(
@@ -43,30 +52,57 @@ StatusOr<RecommendResponse> RecommendationService::EvaluateNow(
                            resolved.version};
 }
 
+std::optional<StatusOr<RecommendResponse>>
+RecommendationService::TryRecommendCached(const RecommendRequest& request) {
+  const auto start = Clock::now();
+  auto resolved = registry_->Resolve(request.app);
+  if (!resolved.ok()) return resolved.status();  // Answerable without a worker.
+  const std::string key = PredictionCache::MakeKey(
+      request.app, resolved->version, request.params, request.machine_type);
+  auto cached = cache_->Peek(key);
+  if (!cached) return std::nullopt;  // Cold: caller takes the full path.
+  AppCounters& app = CountersFor(request.app);
+  app.requests.fetch_add(1, std::memory_order_relaxed);
+  app.cache_hits.fetch_add(1, std::memory_order_relaxed);
+  const double elapsed = ElapsedUs(start);
+  latency_.Record(elapsed);
+  app.latency.Record(elapsed);
+  return StatusOr<RecommendResponse>(RecommendResponse{
+      std::move(cached), /*cache_hit=*/true, resolved->version});
+}
+
 StatusOr<RecommendResponse> RecommendationService::Recommend(
     const RecommendRequest& request) {
   const auto start = Clock::now();
   auto resolved = registry_->Resolve(request.app);
   if (!resolved.ok()) return resolved.status();
+  AppCounters& app = CountersFor(request.app);
+  app.requests.fetch_add(1, std::memory_order_relaxed);
   const std::string key = PredictionCache::MakeKey(
       request.app, resolved->version, request.params, request.machine_type);
   // Warm hits are answered on the caller's thread: no queue slot, no worker
   // handoff — this is the sub-microsecond path recurring applications take.
   if (auto cached = cache_->Get(key)) {
-    latency_.Record(ElapsedUs(start));
+    app.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    const double elapsed = ElapsedUs(start);
+    latency_.Record(elapsed);
+    app.latency.Record(elapsed);
     return RecommendResponse{std::move(cached), /*cache_hit=*/true,
                              resolved->version};
   }
+  app.cache_misses.fetch_add(1, std::memory_order_relaxed);
 
   auto promise =
       std::make_shared<std::promise<StatusOr<RecommendResponse>>>();
   auto future = promise->get_future();
   Status submitted = pool_->Submit(
       [this, start, resolved = std::move(resolved).value(), request, key,
-       promise] {
+       promise, app = &app] {
         if (options_.pre_eval_hook) options_.pre_eval_hook();
-        auto result = EvaluateNow(resolved, request, key);
-        latency_.Record(ElapsedUs(start));
+        auto result = EvaluateNow(resolved, request, key, *app);
+        const double elapsed = ElapsedUs(start);
+        latency_.Record(elapsed);
+        app->latency.Record(elapsed);
         promise->set_value(std::move(result));
       });
   if (!submitted.ok()) {
@@ -90,27 +126,38 @@ std::future<StatusOr<RecommendResponse>> RecommendationService::RecommendAsync(
     promise->set_value(resolved.status());
     return future;
   }
+  AppCounters& app = CountersFor(request.app);
+  app.requests.fetch_add(1, std::memory_order_relaxed);
   std::string key = PredictionCache::MakeKey(
       request.app, resolved->version, request.params, request.machine_type);
   if (auto cached = cache_->Get(key)) {
-    latency_.Record(ElapsedUs(start));
+    app.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    const double elapsed = ElapsedUs(start);
+    latency_.Record(elapsed);
+    app.latency.Record(elapsed);
     promise->set_value(RecommendResponse{std::move(cached), /*cache_hit=*/true,
                                          resolved->version});
     return future;
   }
+  app.cache_misses.fetch_add(1, std::memory_order_relaxed);
   Status submitted = pool_->Submit(
       [this, start, resolved = std::move(resolved).value(),
-       request = std::move(request), key = std::move(key), promise] {
+       request = std::move(request), key = std::move(key), promise,
+       app = &app] {
         if (options_.pre_eval_hook) options_.pre_eval_hook();
         if (auto cached = cache_->Get(key)) {
-          latency_.Record(ElapsedUs(start));
+          const double elapsed = ElapsedUs(start);
+          latency_.Record(elapsed);
+          app->latency.Record(elapsed);
           promise->set_value(RecommendResponse{std::move(cached),
                                                /*cache_hit=*/true,
                                                resolved.version});
           return;
         }
-        auto result = EvaluateNow(resolved, request, key);
-        latency_.Record(ElapsedUs(start));
+        auto result = EvaluateNow(resolved, request, key, *app);
+        const double elapsed = ElapsedUs(start);
+        latency_.Record(elapsed);
+        app->latency.Record(elapsed);
         promise->set_value(std::move(result));
       });
   if (!submitted.ok()) {
@@ -174,6 +221,15 @@ RecommendationService::Stats RecommendationService::GetStats() const {
   stats.latency = latency_.GetSnapshot();
   stats.evaluations = evaluations_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  MutexLock lock(apps_mu_);
+  for (const auto& [name, counters] : app_counters_) {
+    AppStats& app = stats.per_app[name];
+    app.requests = counters->requests.load(std::memory_order_relaxed);
+    app.cache_hits = counters->cache_hits.load(std::memory_order_relaxed);
+    app.cache_misses = counters->cache_misses.load(std::memory_order_relaxed);
+    app.evaluations = counters->evaluations.load(std::memory_order_relaxed);
+    app.latency = counters->latency.GetSnapshot();
+  }
   return stats;
 }
 

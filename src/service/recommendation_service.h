@@ -4,11 +4,15 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "core/recommender.h"
 #include "minispark/cluster.h"
 #include "minispark/types.h"
@@ -58,11 +62,27 @@ class RecommendationService {
     std::function<void()> pre_eval_hook;
   };
 
+  /// Per-application slice of the serving counters. `cache_hits` +
+  /// `cache_misses` partition answered requests by whether the memo table
+  /// supplied the answer; `evaluations` counts model runs (>= cache_misses,
+  /// since batch fan-out and async re-probes can share one evaluation).
+  struct AppStats {
+    uint64_t requests = 0;
+    uint64_t cache_hits = 0;
+    uint64_t cache_misses = 0;
+    uint64_t evaluations = 0;
+    LatencyHistogram::Snapshot latency;
+  };
+
   struct Stats {
     PredictionCache::Stats cache;
     LatencyHistogram::Snapshot latency;
     uint64_t evaluations = 0;  ///< Model evaluations actually run on workers.
     uint64_t rejected = 0;     ///< Requests shed due to a full queue.
+    /// Per-app breakdown, keyed by application name. Only apps that have
+    /// been asked about appear (unknown names are rejected before counting,
+    /// so label cardinality stays bounded by the registry).
+    std::map<std::string, AppStats> per_app;
   };
 
   RecommendationService(std::shared_ptr<ModelRegistry> registry,
@@ -76,6 +96,15 @@ class RecommendationService {
   /// NotFound (unknown app), ResourceExhausted (queue full), or whatever the
   /// model evaluation itself returns.
   [[nodiscard]] StatusOr<RecommendResponse> Recommend(const RecommendRequest& request);
+
+  /// Non-blocking cache-only probe for event-loop fast paths. Returns the
+  /// answer if it can be produced without any model evaluation: a warm cache
+  /// hit (counted as a hit; full per-app accounting applies) or a resolve
+  /// error such as NotFound. Returns nullopt on a cold key — which is NOT
+  /// counted as a cache miss; the caller is expected to fall through to
+  /// Recommend()/RecommendAsync(), whose authoritative probe counts it.
+  std::optional<StatusOr<RecommendResponse>> TryRecommendCached(
+      const RecommendRequest& request);
 
   /// Non-blocking variant; the future carries the same result Recommend()
   /// would return. Registry/cache/backpressure errors still resolve through
@@ -91,20 +120,37 @@ class RecommendationService {
   std::vector<StatusOr<RecommendResponse>> RecommendBatch(
       const std::vector<RecommendRequest>& requests);
 
-  Stats GetStats() const;
+  Stats GetStats() const EXCLUDES(apps_mu_);
 
   ModelRegistry& registry() { return *registry_; }
   PredictionCache& cache() { return *cache_; }
 
  private:
+  /// Live per-app counters behind Stats::AppStats. Nodes are created on
+  /// first use and never removed, so raw pointers into the map stay valid
+  /// for the service's lifetime and the hot path updates them lock-free.
+  struct AppCounters {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> cache_hits{0};
+    std::atomic<uint64_t> cache_misses{0};
+    std::atomic<uint64_t> evaluations{0};
+    LatencyHistogram latency;
+  };
+
+  /// The counters node for `app`, created on first use. Only called after a
+  /// successful registry resolve, so the map's keys are registry app names.
+  AppCounters& CountersFor(const std::string& app) EXCLUDES(apps_mu_);
+
   [[nodiscard]] StatusOr<RecommendResponse> EvaluateNow(
       const ModelRegistry::Resolved& resolved, const RecommendRequest& request,
-      const std::string& key);
+      const std::string& key, AppCounters& app_counters);
 
-  // Deliberately mutex-free: all shared state here is atomics plus the
-  // lock-free LatencyHistogram; lock discipline lives inside the components
-  // (ModelRegistry, PredictionCache, ThreadPool), each annotated with
-  // GUARDED_BY/EXCLUDES and checked by clang -Wthread-safety.
+  // Nearly mutex-free: shared state is atomics plus the lock-free
+  // LatencyHistogram; `apps_mu_` only guards per-app node creation (first
+  // request per app), never the counter updates themselves. Lock discipline
+  // lives inside the components (ModelRegistry, PredictionCache,
+  // ThreadPool), each annotated with GUARDED_BY/EXCLUDES and checked by
+  // clang -Wthread-safety.
   std::shared_ptr<ModelRegistry> registry_;
   Options options_;
   std::unique_ptr<PredictionCache> cache_;
@@ -112,6 +158,10 @@ class RecommendationService {
   LatencyHistogram latency_;
   std::atomic<uint64_t> evaluations_{0};
   std::atomic<uint64_t> rejected_{0};
+  mutable Mutex apps_mu_;
+  /// unique_ptr nodes: map rehash/rebalance never moves an AppCounters.
+  std::map<std::string, std::unique_ptr<AppCounters>> app_counters_
+      GUARDED_BY(apps_mu_);
 };
 
 }  // namespace juggler::service

@@ -1,0 +1,553 @@
+// End-to-end tests for the net subsystem: HttpServer over real loopback
+// sockets (both poller backends), and the HttpRecommendServer routes driven
+// directly through Handle()/HandleFast()/MetricsText() without a socket.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "net/http_recommend_server.h"
+#include "net/http_server.h"
+#include "net/json.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+#include "workloads/workloads.h"
+
+namespace juggler::net {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Blocking test client: deliberately simple and synchronous — the other side
+// of every conversation is the non-blocking server under test.
+// ---------------------------------------------------------------------------
+
+class TestClient {
+ public:
+  explicit TestClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void Send(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << "send failed: " << std::strerror(errno);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  /// Reads exactly one HTTP response (headers + Content-Length body) off the
+  /// stream, leaving any pipelined follow-up bytes buffered for the next
+  /// call. Returns the raw response text; "" on EOF/timeout.
+  std::string ReadResponse() {
+    while (true) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t body_start = header_end + 4;
+        const size_t content_length = ParseContentLength(buffer_);
+        const size_t total = body_start + content_length;
+        if (buffer_.size() >= total) {
+          std::string response = buffer_.substr(0, total);
+          buffer_.erase(0, total);
+          return response;
+        }
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// True once the server closes the connection (and no buffered bytes
+  /// remain).
+  bool ReadEof() {
+    char chunk[256];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    return n == 0;
+  }
+
+ private:
+  static size_t ParseContentLength(const std::string& response) {
+    const std::string needle = "Content-Length: ";
+    const size_t pos = response.find(needle);
+    if (pos == std::string::npos) return 0;
+    return static_cast<size_t>(
+        std::stoul(response.substr(pos + needle.size())));
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+int StatusOf(const std::string& response) {
+  // "HTTP/1.1 200 OK\r\n..."
+  if (response.size() < 12) return -1;
+  return std::stoi(response.substr(9, 3));
+}
+
+std::string BodyOf(const std::string& response) {
+  const size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+std::string SimpleGet(const std::string& target, bool keep_alive = true) {
+  std::string wire = "GET " + target + " HTTP/1.1\r\nHost: t\r\n";
+  if (!keep_alive) wire += "Connection: close\r\n";
+  wire += "\r\n";
+  return wire;
+}
+
+HttpServer::Handler EchoHandler() {
+  return [](const HttpRequest& request) {
+    return HttpResponse::Text(200, request.method + " " + request.Path());
+  };
+}
+
+// ---------------------------------------------------------------------------
+// HttpServer over real sockets, on both poller backends.
+// ---------------------------------------------------------------------------
+
+class HttpServerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  HttpServer::Options BaseOptions() {
+    HttpServer::Options options;
+    options.force_poll = GetParam();
+    options.num_handler_threads = 2;
+    return options;
+  }
+};
+
+TEST_P(HttpServerTest, ServesRequestsOnPoolAndFastPath) {
+  std::atomic<int> pool_calls{0};
+  HttpServer server(
+      BaseOptions(),
+      [&](const HttpRequest& request) {
+        pool_calls.fetch_add(1);
+        return HttpResponse::Text(200, "pool:" + request.Path());
+      },
+      [](const HttpRequest& request) -> std::optional<HttpResponse> {
+        if (request.Path() == "/fast") {
+          return HttpResponse::Text(200, "fast");
+        }
+        return std::nullopt;
+      });
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_EQ(server.backend(), GetParam() ? "poll" : "epoll");
+  EXPECT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  client.Send(SimpleGet("/fast"));
+  std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "fast");
+
+  client.Send(SimpleGet("/slow"));
+  response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_EQ(BodyOf(response), "pool:/slow");
+  EXPECT_EQ(pool_calls.load(), 1) << "/fast must not reach the pool";
+
+  const auto stats = server.GetStats();
+  EXPECT_EQ(stats.accepted, 1u) << "keep-alive must reuse the connection";
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_EQ(stats.fast_path, 1u);
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, PipelinedRequestsAnswerInOrder) {
+  HttpServer server(BaseOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  // Both requests in one segment; responses must come back in order even
+  // though each takes a round trip through the handler pool.
+  client.Send(SimpleGet("/first") + SimpleGet("/second"));
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "GET /first");
+  EXPECT_EQ(BodyOf(client.ReadResponse()), "GET /second");
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, ConnectionCloseIsHonored) {
+  HttpServer server(BaseOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  client.Send(SimpleGet("/bye", /*keep_alive=*/false));
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_TRUE(client.ReadEof());
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, MalformedRequestGets400ThenClose) {
+  HttpServer server(BaseOptions(), EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(server.port());
+  client.Send("THIS IS NOT HTTP\r\n\r\n");
+  const std::string response = client.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 400);
+  EXPECT_TRUE(client.ReadEof()) << "framing is lost; server must close";
+  EXPECT_EQ(server.GetStats().parse_errors, 1u);
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, FullDispatchQueueYields503WithRetryAfter) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool release = false;
+
+  HttpServer::Options options = BaseOptions();
+  options.num_handler_threads = 1;
+  options.dispatch_queue_capacity = 1;
+  HttpServer server(options, [&](const HttpRequest& request) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++entered;
+      cv.notify_all();
+      cv.wait(lock, [&] { return release; });
+    }
+    return HttpResponse::Text(200, request.Path());
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  // First request occupies the single handler thread...
+  TestClient busy(server.port());
+  busy.Send(SimpleGet("/busy"));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= 1; });
+  }
+  // ...second parks in the one queue slot (wait until the loop thread has
+  // parsed and dispatched it)...
+  TestClient queued(server.port());
+  queued.Send(SimpleGet("/queued"));
+  while (server.GetStats().requests < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // ...and a third is shed at the edge, immediately, without hanging.
+  TestClient shed(server.port());
+  shed.Send(SimpleGet("/shed"));
+  const std::string rejection = shed.ReadResponse();
+  EXPECT_EQ(StatusOf(rejection), 503);
+  EXPECT_NE(rejection.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_EQ(server.GetStats().overload_rejected, 1u);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  EXPECT_EQ(BodyOf(busy.ReadResponse()), "/busy");
+  EXPECT_EQ(BodyOf(queued.ReadResponse()), "/queued");
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, IdleConnectionsAreSweptAndCounted) {
+  HttpServer::Options options = BaseOptions();
+  options.idle_timeout_ms = 100;
+  HttpServer server(options, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient idle(server.port());
+  EXPECT_TRUE(idle.ReadEof()) << "sweeper should close the silent connection";
+  // The client sees the FIN the instant the loop thread closes the fd, which
+  // can be a moment before that thread finishes updating the counters — poll
+  // briefly instead of asserting instantly.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.GetStats().active != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.GetStats().idle_closed, 1u);
+  EXPECT_EQ(server.GetStats().active, 0u);
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, StopClosesOpenConnectionsAndIsIdempotent) {
+  auto server = std::make_unique<HttpServer>(BaseOptions(), EchoHandler());
+  ASSERT_TRUE(server->Start().ok());
+  EXPECT_EQ(server->Start().code(), StatusCode::kFailedPrecondition);
+
+  TestClient client(server->port());
+  client.Send(SimpleGet("/ok"));
+  EXPECT_EQ(StatusOf(client.ReadResponse()), 200);
+
+  server->Stop();
+  server->Stop();  // Idempotent.
+  EXPECT_TRUE(client.ReadEof());
+  server.reset();
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, HttpServerTest, ::testing::Bool(),
+                         [](const auto& param_info) {
+                           return param_info.param ? "poll" : "epoll";
+                         });
+
+// ---------------------------------------------------------------------------
+// HttpRecommendServer routes (no sockets: Handle/HandleFast/MetricsText).
+// ---------------------------------------------------------------------------
+
+/// One small svm model, trained once for the whole suite (training dominates
+/// test runtime; the routes under test only read it).
+const core::TrainedJuggler& SvmModel() {
+  static const core::TrainedJuggler* const model = [] {
+    const auto w = workloads::GetWorkload("svm").value();
+    core::JugglerConfig config;
+    config.time_grid = core::TrainingGrid{{4000, 8000, 16000},
+                                          {1000, 2000, 4000},
+                                          /*iterations=*/5};
+    config.memory_reference = w.paper_params;
+    config.run_options.noise_sigma = 0.0;
+    config.run_options.straggler_prob = 0.0;
+    auto training = core::TrainJuggler("svm", w.make, config);
+    EXPECT_TRUE(training.ok()) << training.status().ToString();
+    return new core::TrainedJuggler(std::move(training)->trained);
+  }();
+  return *model;
+}
+
+struct RecommendFixture {
+  fs::path dir;
+  std::shared_ptr<service::ModelRegistry> registry;
+  std::shared_ptr<service::RecommendationService> service;
+  std::unique_ptr<HttpRecommendServer> server;
+
+  explicit RecommendFixture(const std::string& test_name) {
+    dir = fs::path(testing::TempDir()) / ("http_" + test_name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    std::ofstream out(dir / "svm.model");
+    EXPECT_TRUE(core::SaveTrainedJuggler(SvmModel(), out).ok());
+    out.close();
+    registry = std::make_shared<service::ModelRegistry>(dir.string());
+    EXPECT_TRUE(registry->Refresh().ok());
+    service = std::make_shared<service::RecommendationService>(
+        registry, service::RecommendationService::Options{});
+    server = std::make_unique<HttpRecommendServer>(
+        registry, service, HttpRecommendServer::Options{});
+  }
+};
+
+HttpRequest MakeRequest(const std::string& method, const std::string& target,
+                        const std::string& body = "") {
+  HttpRequest request;
+  request.method = method;
+  request.target = target;
+  request.version = "HTTP/1.1";
+  request.body = body;
+  return request;
+}
+
+constexpr char kSvmBody[] =
+    R"({"app":"svm","params":{"examples":12000,"features":3000,)"
+    R"("iterations":5}})";
+
+TEST(HttpRecommendServerTest, HealthzIsAnsweredOnTheFastPath) {
+  RecommendFixture f("healthz");
+  const auto fast = f.server->HandleFast(MakeRequest("GET", "/healthz"));
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->status, 200);
+  EXPECT_EQ(fast->body, "ok\n");
+  // The pool path answers it too (e.g. if the fast handler is disabled).
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/healthz")).status, 200);
+}
+
+TEST(HttpRecommendServerTest, RecommendColdMissesFastPathThenHitsWarm) {
+  RecommendFixture f("warm_path");
+  const auto request = MakeRequest("POST", "/v1/recommend", kSvmBody);
+
+  // Cold key: the fast path must decline (a model evaluation would block the
+  // event loop).
+  EXPECT_FALSE(f.server->HandleFast(request).has_value());
+
+  // Full path evaluates and fills the cache.
+  const HttpResponse cold = f.server->Handle(request);
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  auto cold_json = Json::Parse(cold.body);
+  ASSERT_TRUE(cold_json.ok());
+  EXPECT_EQ(cold_json->StringOr("app", ""), "svm");
+  EXPECT_FALSE(cold_json->Find("cache_hit")->bool_value());
+  EXPECT_EQ(cold_json->NumberOr("model_version", 0), 1);
+  EXPECT_FALSE(cold_json->Find("recommendations")->array_items().empty());
+
+  // Warm key: answered inline, identical recommendations, cache_hit flag on.
+  const auto warm = f.server->HandleFast(request);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_EQ(warm->status, 200);
+  auto warm_json = Json::Parse(warm->body);
+  ASSERT_TRUE(warm_json.ok());
+  EXPECT_TRUE(warm_json->Find("cache_hit")->bool_value());
+  EXPECT_EQ(warm_json->Find("recommendations")->Dump(),
+            cold_json->Find("recommendations")->Dump());
+}
+
+TEST(HttpRecommendServerTest, RejectsBadInputsWithStructuredErrors) {
+  RecommendFixture f("bad_inputs");
+  const auto error_code = [&](const std::string& body) {
+    const HttpResponse response =
+        f.server->Handle(MakeRequest("POST", "/v1/recommend", body));
+    auto json = Json::Parse(response.body);
+    EXPECT_TRUE(json.ok()) << response.body;
+    return std::to_string(response.status) + " " +
+           json->Find("error")->StringOr("code", "?");
+  };
+  EXPECT_EQ(error_code("not json"), "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_code("{}"), "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(R"({"app":"svm","params":{"examples":-1,)"
+                       R"("features":10}})"),
+            "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_code(R"({"app":"nope","params":{"examples":100,)"
+                       R"("features":10}})"),
+            "404 NOT_FOUND");
+
+  // A parse error never reaches the handler pool: the fast path answers it.
+  const auto fast =
+      f.server->HandleFast(MakeRequest("POST", "/v1/recommend", "not json"));
+  ASSERT_TRUE(fast.has_value());
+  EXPECT_EQ(fast->status, 400);
+}
+
+TEST(HttpRecommendServerTest, BatchReportsServiceErrorsPerSlot) {
+  RecommendFixture f("batch");
+  const std::string body = std::string(R"({"requests":[)") + kSvmBody +
+                           R"(,{"app":"nope","params":)"
+                           R"({"examples":100,"features":10}}]})";
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("POST", "/v1/recommend", body));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  const auto& results = json->Find("results")->array_items();
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].StringOr("app", ""), "svm");
+  EXPECT_EQ(results[1].Find("error")->StringOr("code", ""), "NOT_FOUND");
+
+  // A malformed element, by contrast, fails the whole request.
+  const HttpResponse malformed = f.server->Handle(MakeRequest(
+      "POST", "/v1/recommend", R"({"requests":[{"app":"svm"}]})"));
+  EXPECT_EQ(malformed.status, 400);
+  EXPECT_NE(malformed.body.find("requests[0]"), std::string::npos);
+
+  // Batches never take the fast path.
+  EXPECT_FALSE(
+      f.server->HandleFast(MakeRequest("POST", "/v1/recommend", body))
+          .has_value());
+}
+
+TEST(HttpRecommendServerTest, AppsAndReloadRoutes) {
+  RecommendFixture f("apps_reload");
+  const HttpResponse apps = f.server->Handle(MakeRequest("GET", "/v1/apps"));
+  ASSERT_EQ(apps.status, 200);
+  auto apps_json = Json::Parse(apps.body);
+  ASSERT_TRUE(apps_json.ok());
+  EXPECT_EQ(apps_json->NumberOr("version", 0), 1);
+  ASSERT_EQ(apps_json->Find("apps")->array_items().size(), 1u);
+  EXPECT_EQ(apps_json->Find("apps")->array_items()[0].string_value(), "svm");
+
+  // Reload with nothing changed: everything reused, version stays put.
+  const HttpResponse reload =
+      f.server->Handle(MakeRequest("POST", "/v1/reload"));
+  ASSERT_EQ(reload.status, 200);
+  auto reload_json = Json::Parse(reload.body);
+  ASSERT_TRUE(reload_json.ok());
+  EXPECT_EQ(reload_json->NumberOr("version", 0), 1);
+  const Json* refresh = reload_json->Find("refresh");
+  ASSERT_NE(refresh, nullptr);
+  EXPECT_EQ(refresh->NumberOr("scanned", -1), 1);
+  EXPECT_EQ(refresh->NumberOr("parsed", -1), 0);
+  EXPECT_EQ(refresh->NumberOr("reused", -1), 1);
+}
+
+TEST(HttpRecommendServerTest, RoutesRejectWrongMethodsAndUnknownPaths) {
+  RecommendFixture f("routing");
+  const HttpResponse wrong_method =
+      f.server->Handle(MakeRequest("GET", "/v1/recommend"));
+  EXPECT_EQ(wrong_method.status, 405);
+  bool has_allow = false;
+  for (const auto& [name, value] : wrong_method.headers) {
+    if (name == "Allow") {
+      has_allow = true;
+      EXPECT_EQ(value, "POST");
+    }
+  }
+  EXPECT_TRUE(has_allow);
+  EXPECT_EQ(f.server->Handle(MakeRequest("POST", "/metrics")).status, 405);
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/nope")).status, 404);
+  // Unknown paths fall through the fast path to the pool.
+  EXPECT_FALSE(f.server->HandleFast(MakeRequest("GET", "/nope")).has_value());
+}
+
+TEST(HttpRecommendServerTest, MetricsExposePerAppSeries) {
+  RecommendFixture f("metrics");
+  const auto request = MakeRequest("POST", "/v1/recommend", kSvmBody);
+  ASSERT_EQ(f.server->Handle(request).status, 200);  // Miss + evaluation.
+  ASSERT_EQ(f.server->Handle(request).status, 200);  // Cache hit.
+
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("GET", "/metrics"));
+  ASSERT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain; version=0.0.4; charset=utf-8");
+  const std::string& text = response.body;
+  EXPECT_NE(text.find("juggler_requests_total{app=\"svm\"} 2\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("juggler_cache_hits_total{app=\"svm\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("juggler_cache_misses_total{app=\"svm\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("juggler_evaluations_total{app=\"svm\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("juggler_request_latency_us{app=\"svm\",quantile=\"0.5\"}"),
+      std::string::npos);
+  EXPECT_NE(text.find("juggler_request_latency_us_count{app=\"svm\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("juggler_registry_version 1\n"), std::string::npos);
+  EXPECT_NE(text.find("juggler_registry_models 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE juggler_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE juggler_prediction_cache_size gauge\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace juggler::net

@@ -140,9 +140,48 @@ TEST(LintRawSync, AllowsWrappersAndOtherLayers) {
       LintFile("src/service/foo.cc", "MutexLock lock(mu_);\nCondVar cv_;\n"),
       "raw-sync-primitive"));
   // common/mutex.h legitimately wraps std::mutex; the rule is scoped to
-  // src/service/.
+  // src/service/ and src/net/.
   EXPECT_FALSE(HasRule(LintFile("src/common/other.cc", "std::mutex mu;\n"),
                        "raw-sync-primitive"));
+}
+
+TEST(LintRawSync, AppliesToNetSubsystem) {
+  EXPECT_TRUE(HasRule(LintFile("src/net/foo.cc", "std::mutex mu;\n"),
+                      "raw-sync-primitive"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-socket
+// ---------------------------------------------------------------------------
+
+TEST(LintRawSocket, FlagsSocketCallsOutsideNet) {
+  const std::string bad =
+      "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n"
+      "::send(fd, data, size, 0);\n"
+      "recv(fd, buffer, size, 0);\n"
+      "epoll_wait(ep, events, 64, -1);\n";
+  const auto findings = LintFile("src/service/foo.cc", bad);
+  EXPECT_EQ(CountRule(findings, "raw-socket"), 4);
+}
+
+TEST(LintRawSocket, AllowsNetSubsystemTestsAndBench) {
+  const std::string uses = "int fd = ::socket(AF_INET, SOCK_STREAM, 0);\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/net/socket_util.cc", uses), "raw-socket"));
+  EXPECT_FALSE(
+      HasRule(LintFile("tests/http_server_test.cc", uses), "raw-socket"));
+  EXPECT_FALSE(
+      HasRule(LintFile("bench/bench_http_server.cpp", uses), "raw-socket"));
+  EXPECT_FALSE(
+      HasRule(LintFile("examples/juggler_serve.cpp", uses), "raw-socket"));
+}
+
+TEST(LintRawSocket, IgnoresCommentsAndLongerIdentifiers) {
+  const std::string ok =
+      "// a socket front end would apply backpressure here\n"
+      "int websocket_count = 0;\n"
+      "void sender();\n";
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.cc", ok), "raw-socket"));
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,321 @@
+// Unit tests for the dependency-free pieces of src/net/: the JSON value
+// type, the incremental HTTP/1.1 parser + response serializer, the poller
+// backends, and the socket utilities.
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "net/http.h"
+#include "net/json.h"
+#include "net/poller.h"
+#include "net/socket_util.h"
+
+namespace juggler::net {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+// ---------------------------------------------------------------------------
+
+TEST(JsonTest, ParsesScalarsObjectsAndArrays) {
+  auto parsed = Json::Parse(
+      R"({"app":"svm","n":40000,"ok":true,"none":null,)"
+      R"("xs":[1,2.5,-3e2],"nested":{"k":"v"}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& j = *parsed;
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.StringOr("app", ""), "svm");
+  EXPECT_EQ(j.NumberOr("n", 0), 40000);
+  EXPECT_TRUE(j.Find("ok")->bool_value());
+  EXPECT_TRUE(j.Find("none")->is_null());
+  ASSERT_TRUE(j.Find("xs")->is_array());
+  const auto& xs = j.Find("xs")->array_items();
+  ASSERT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[1].number_value(), 2.5);
+  EXPECT_DOUBLE_EQ(xs[2].number_value(), -300.0);
+  EXPECT_EQ(j.Find("nested")->StringOr("k", ""), "v");
+}
+
+TEST(JsonTest, DumpParseRoundTripsAndIntegersPrintWithoutFraction) {
+  Json j = Json::Obj();
+  j.Set("count", Json::Number(12000))
+      .Set("ratio", Json::Number(0.3))
+      .Set("name", Json::Str("a \"quoted\"\nline"))
+      .Set("list", Json::Arr().Append(Json::Bool(false)).Append(Json::Null()));
+  const std::string text = j.Dump();
+  EXPECT_NE(text.find("\"count\":12000"), std::string::npos)
+      << "integral double must not print a fraction: " << text;
+  auto reparsed = Json::Parse(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_EQ(reparsed->Dump(), text);
+  EXPECT_EQ(reparsed->StringOr("name", ""), "a \"quoted\"\nline");
+}
+
+TEST(JsonTest, DecodesUnicodeEscapesIncludingSurrogatePairs) {
+  auto parsed = Json::Parse(R"(["A", "é", "😀"])");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->array_items()[0].string_value(), "A");
+  EXPECT_EQ(parsed->array_items()[1].string_value(), "\xc3\xa9");
+  EXPECT_EQ(parsed->array_items()[2].string_value(), "\xf0\x9f\x98\x80");
+  EXPECT_FALSE(Json::Parse(R"(["\ud83d"])").ok()) << "unpaired surrogate";
+}
+
+TEST(JsonTest, RejectsMalformedDocuments) {
+  const char* bad[] = {
+      "",             "{",        "[1,]",       "{\"a\":}",
+      "01",           "1.",       "1e",         "nul",
+      "\"unterminated", "[1] extra", "\"\x01\"", "{\"a\" 1}",
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(Json::Parse(text).ok()) << "should reject: " << text;
+  }
+}
+
+TEST(JsonTest, RejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += "[";
+  for (int i = 0; i < 80; ++i) deep += "]";
+  auto parsed = Json::Parse(deep);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(JsonTest, DuplicateKeysFindReturnsFirst) {
+  auto parsed = Json::Parse(R"({"k":1,"k":2})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed->Find("k")->number_value(), 1.0);
+}
+
+TEST(JsonTest, AccessorsReturnDefaultsOnTypeMismatch) {
+  const Json j = Json::Str("text");
+  EXPECT_EQ(j.Find("missing"), nullptr);
+  EXPECT_FALSE(j.bool_value());
+  EXPECT_DOUBLE_EQ(j.number_value(), 0.0);
+  EXPECT_TRUE(j.array_items().empty());
+  EXPECT_TRUE(j.object_items().empty());
+  EXPECT_DOUBLE_EQ(Json::Obj().NumberOr("k", 7.5), 7.5);
+}
+
+// ---------------------------------------------------------------------------
+// HttpParser
+// ---------------------------------------------------------------------------
+
+HttpParser::Result Feed(HttpParser* parser, const std::string& bytes) {
+  parser->Append(bytes.data(), bytes.size());
+  return parser->Next();
+}
+
+TEST(HttpParserTest, ParsesCompleteRequestWithBody) {
+  HttpParser parser{HttpParser::Limits{}};
+  const auto result = Feed(&parser,
+                           "POST /v1/recommend?trace=1 HTTP/1.1\r\n"
+                           "Host: localhost\r\n"
+                           "Content-Length: 4\r\n"
+                           "\r\n"
+                           "abcd");
+  ASSERT_EQ(result.state, HttpParser::State::kReady);
+  EXPECT_EQ(result.request.method, "POST");
+  EXPECT_EQ(result.request.target, "/v1/recommend?trace=1");
+  EXPECT_EQ(result.request.Path(), "/v1/recommend");
+  EXPECT_EQ(result.request.body, "abcd");
+  ASSERT_NE(result.request.FindHeader("host"), nullptr)
+      << "header lookup must be case-insensitive";
+  EXPECT_EQ(*result.request.FindHeader("HOST"), "localhost");
+  EXPECT_TRUE(result.request.KeepAlive());
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, AccumulatesAcrossArbitrarySplits) {
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  // Feed one byte at a time; every prefix must report kNeedMore.
+  HttpParser parser{HttpParser::Limits{}};
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    const auto partial = Feed(&parser, wire.substr(i, 1));
+    ASSERT_EQ(partial.state, HttpParser::State::kNeedMore)
+        << "after " << (i + 1) << " bytes";
+  }
+  const auto result = Feed(&parser, wire.substr(wire.size() - 1));
+  ASSERT_EQ(result.state, HttpParser::State::kReady);
+  EXPECT_EQ(result.request.target, "/healthz");
+}
+
+TEST(HttpParserTest, PipelinedRequestsComeOutOneAtATime) {
+  HttpParser parser{HttpParser::Limits{}};
+  const std::string one = "GET /a HTTP/1.1\r\n\r\n";
+  const std::string two = "GET /b HTTP/1.1\r\n\r\n";
+  const auto first = Feed(&parser, one + two);
+  ASSERT_EQ(first.state, HttpParser::State::kReady);
+  EXPECT_EQ(first.request.target, "/a");
+  const auto second = parser.Next();
+  ASSERT_EQ(second.state, HttpParser::State::kReady);
+  EXPECT_EQ(second.request.target, "/b");
+  EXPECT_EQ(parser.Next().state, HttpParser::State::kNeedMore);
+}
+
+TEST(HttpParserTest, KeepAliveSemantics) {
+  const auto keep_alive = [](const std::string& version,
+                             const std::string& connection) {
+    HttpParser parser{HttpParser::Limits{}};
+    std::string wire = "GET / " + version + "\r\n";
+    if (!connection.empty()) wire += "Connection: " + connection + "\r\n";
+    wire += "\r\n";
+    const auto result = Feed(&parser, wire);
+    EXPECT_EQ(result.state, HttpParser::State::kReady);
+    return result.request.KeepAlive();
+  };
+  EXPECT_TRUE(keep_alive("HTTP/1.1", ""));
+  EXPECT_FALSE(keep_alive("HTTP/1.1", "close"));
+  EXPECT_FALSE(keep_alive("HTTP/1.0", ""));
+  EXPECT_TRUE(keep_alive("HTTP/1.0", "keep-alive"));
+}
+
+TEST(HttpParserTest, RejectsMalformedRequests) {
+  const auto error_status = [](const std::string& wire) {
+    HttpParser parser{HttpParser::Limits{}};
+    const auto result = Feed(&parser, wire);
+    return result.state == HttpParser::State::kError ? result.error_status : 0;
+  };
+  EXPECT_EQ(error_status("NOT A REQUEST LINE AT ALL\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("GET noslash HTTP/1.1\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("GET / HTTP/2.0\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("GET / HTTP/1.1\r\nBad Header\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("GET / HTTP/1.1\r\nContent-Length: 1\r\n"
+                         "Content-Length: 2\r\n\r\n"),
+            400);
+  EXPECT_EQ(
+      error_status("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      501);
+}
+
+TEST(HttpParserTest, EnforcesSizeLimits) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  limits.max_body_bytes = 16;
+
+  HttpParser header_parser{limits};
+  const auto header_result =
+      Feed(&header_parser,
+           "GET / HTTP/1.1\r\nX-Pad: " + std::string(300, 'a'));
+  ASSERT_EQ(header_result.state, HttpParser::State::kError);
+  EXPECT_EQ(header_result.error_status, 413);
+
+  HttpParser body_parser{limits};
+  const auto body_result =
+      Feed(&body_parser, "POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+  ASSERT_EQ(body_result.state, HttpParser::State::kError);
+  EXPECT_EQ(body_result.error_status, 413)
+      << "oversize body must be rejected from the declared length, before "
+         "any body bytes arrive";
+}
+
+TEST(HttpParserTest, StaysPoisonedAfterError) {
+  HttpParser parser{HttpParser::Limits{}};
+  ASSERT_EQ(Feed(&parser, "BROKEN\r\n\r\n").state, HttpParser::State::kError);
+  const auto again = Feed(&parser, "GET / HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(again.state, HttpParser::State::kError)
+      << "framing is unrecoverable after a parse error";
+  EXPECT_EQ(again.error_status, 400);
+}
+
+TEST(HttpResponseTest, SerializeEmitsFramingHeaders) {
+  HttpResponse response = HttpResponse::JsonBody(200, "{\"ok\":true}");
+  response.headers.emplace_back("Retry-After", "1");
+  const std::string wire = SerializeResponse(response, /*keep_alive=*/true);
+  EXPECT_EQ(wire.find("HTTP/1.1 200 OK\r\n"), 0u);
+  EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 11\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Retry-After: 1\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("\r\n\r\n{\"ok\":true}"), std::string::npos);
+
+  const std::string close_wire =
+      SerializeResponse(HttpResponse::Text(503, "busy"), /*keep_alive=*/false);
+  EXPECT_EQ(close_wire.find("HTTP/1.1 503 Service Unavailable\r\n"), 0u);
+  EXPECT_NE(close_wire.find("Connection: close\r\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Poller (both backends, driven through a pipe)
+// ---------------------------------------------------------------------------
+
+class PollerTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(PollerTest, ReportsReadabilityAndHonorsInterestUpdates) {
+  auto poller = Poller::Create(/*force_poll=*/GetParam());
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+
+  ASSERT_TRUE(poller->Add(fds[0], /*want_read=*/true, /*want_write=*/false)
+                  .ok());
+  std::vector<Poller::Event> events;
+  ASSERT_TRUE(poller->Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty()) << "no data yet";
+
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  ASSERT_TRUE(poller->Wait(1000, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].fd, fds[0]);
+  EXPECT_TRUE(events[0].readable);
+
+  // Level-triggered: unread data is reported again.
+  ASSERT_TRUE(poller->Wait(0, &events).ok());
+  ASSERT_EQ(events.size(), 1u);
+
+  // Dropping read interest silences the fd even with data pending.
+  ASSERT_TRUE(poller->Update(fds[0], /*want_read=*/false,
+                             /*want_write=*/false)
+                  .ok());
+  ASSERT_TRUE(poller->Wait(0, &events).ok());
+  EXPECT_TRUE(events.empty());
+
+  poller->Remove(fds[0]);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST_P(PollerTest, BackendNameMatchesSelection) {
+  auto poller = Poller::Create(/*force_poll=*/GetParam());
+  if (GetParam()) {
+    EXPECT_STREQ(poller->backend_name(), "poll");
+  } else {
+#if defined(__linux__)
+    EXPECT_STREQ(poller->backend_name(), "epoll");
+#else
+    EXPECT_STREQ(poller->backend_name(), "poll");
+#endif
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerTest, ::testing::Bool(),
+                         [](const auto& param_info) {
+                           return param_info.param ? "forced_poll" : "platform";
+                         });
+
+// ---------------------------------------------------------------------------
+// Socket utilities
+// ---------------------------------------------------------------------------
+
+TEST(SocketUtilTest, ListenTcpBindsEphemeralPort) {
+  auto fd = ListenTcp("127.0.0.1", 0);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto port = LocalPort(*fd);
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+  EXPECT_GT(*port, 0);
+  CloseFd(*fd);
+}
+
+TEST(SocketUtilTest, ListenTcpRejectsNonNumericHost) {
+  auto fd = ListenTcp("not a host", 0);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace juggler::net

@@ -171,6 +171,47 @@ TEST(ModelRegistryTest, RefreshRejectsDuplicateAppNames) {
   EXPECT_NE(st.message().find("duplicate"), std::string::npos);
 }
 
+TEST(ModelRegistryTest, IncrementalRefreshReusesUnchangedArtifacts) {
+  const fs::path dir = MakeModelDir("incremental");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+  ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.last_refresh().scanned, 2u);
+  EXPECT_EQ(registry.last_refresh().parsed, 2u);
+  EXPECT_EQ(registry.last_refresh().reused, 0u);
+
+  auto svm_before = registry.Lookup("svm");
+  ASSERT_TRUE(svm_before.ok());
+
+  // Nothing changed on disk: the rescan must not re-read any file (pointer
+  // identity proves the parsed models were carried over), and the published
+  // snapshot/version must stay put so version-keyed caches stay warm.
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.last_refresh().parsed, 0u);
+  EXPECT_EQ(registry.last_refresh().reused, 2u);
+  EXPECT_EQ(registry.Lookup("svm")->get(), svm_before->get());
+
+  // One artifact retrained: only that file is parsed; the other is reused.
+  SaveModel(TrainSmall("pca", /*iterations=*/9), dir / "pca.model");
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 2u);
+  EXPECT_EQ(registry.last_refresh().parsed, 1u);
+  EXPECT_EQ(registry.last_refresh().reused, 1u);
+  EXPECT_EQ(registry.Lookup("svm")->get(), svm_before->get())
+      << "the untouched artifact must not be re-parsed";
+
+  // A removed artifact is a change too: version bumps, the rest is reused.
+  fs::remove(dir / "pca.model");
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.version(), 3u);
+  EXPECT_EQ(registry.last_refresh().removed, 1u);
+  EXPECT_EQ(registry.last_refresh().reused, 1u);
+  EXPECT_FALSE(registry.Lookup("pca").ok());
+}
+
 TEST(ModelRegistryTest, MissingDirectoryIsNotFound) {
   ModelRegistry registry(
       (fs::path(testing::TempDir()) / "no_such_dir_xyz").string());
@@ -247,6 +288,52 @@ TEST(PredictionCacheTest, KeyReflectsEveryInput) {
   auto m2 = machine;
   m2.executor_memory_bytes *= 2;
   EXPECT_NE(PredictionCache::MakeKey("svm", 1, params, m2), base);
+}
+
+TEST(PredictionCacheTest, PeekCountsHitsButNeverMisses) {
+  PredictionCache cache(PredictionCache::Options{/*capacity=*/2,
+                                                 /*num_shards=*/1});
+  // An opportunistic probe of a cold key leaves the stats untouched: the
+  // authoritative Get() on the fallthrough path counts the one real miss.
+  EXPECT_EQ(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.GetStats().misses, 0u);
+
+  cache.Put("a", MakeValue(1));
+  cache.Put("b", MakeValue(2));
+  ASSERT_NE(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.GetStats().hits, 1u);
+
+  // The Peek refreshed "a"'s recency, so "b" is the LRU victim.
+  cache.Put("c", MakeValue(3));
+  EXPECT_NE(cache.Peek("a"), nullptr);
+  EXPECT_EQ(cache.Peek("b"), nullptr);
+  EXPECT_EQ(cache.GetStats().misses, 0u);
+}
+
+TEST(PredictionCacheTest, MakeKeySpreadsAcrossShards) {
+  PredictionCache cache(PredictionCache::Options{/*capacity=*/256,
+                                                 /*num_shards=*/8});
+  ASSERT_EQ(cache.num_shards(), 8u);
+  // Realistic keys: one recurring app asking about a sweep of input sizes —
+  // the workload where a single hot shard would serialize every client.
+  const auto machine = PaperCluster(1);
+  for (int i = 0; i < 64; ++i) {
+    const AppParams params{10000.0 + 500.0 * i, 2000.0 + 100.0 * i, 5};
+    cache.Put(PredictionCache::MakeKey("svm", 1, params, machine),
+              MakeValue(i));
+  }
+  const auto sizes = cache.ShardSizes();
+  ASSERT_EQ(sizes.size(), 8u);
+  size_t total = 0;
+  int populated = 0;
+  for (const size_t size : sizes) {
+    total += size;
+    if (size > 0) ++populated;
+    EXPECT_LE(size, 32u) << "one shard holds half the keys: degenerate hash";
+  }
+  EXPECT_EQ(total, cache.GetStats().size);
+  EXPECT_EQ(total, 64u);
+  EXPECT_GE(populated, 6) << "64 keys should land on nearly every shard";
 }
 
 // ---------------------------------------------------------------------------
@@ -469,6 +556,77 @@ TEST(RecommendationServiceTest, HotReloadBumpsVersionAndBypassesStaleCache) {
   EXPECT_EQ(v2->model_version, 2u);
   EXPECT_FALSE(v2->cache_hit);
   EXPECT_EQ(f.service->GetStats().evaluations, 2u);
+}
+
+TEST(RecommendationServiceTest, TryRecommendCachedAnswersOnlyWithoutWork) {
+  ServiceFixture f("try_cached");
+  const auto request = SvmRequest();
+
+  // Cold key: declines (an evaluation would be needed) and counts nothing —
+  // the caller falls through to Recommend(), which owns the accounting.
+  EXPECT_FALSE(f.service->TryRecommendCached(request).has_value());
+  EXPECT_EQ(f.service->GetStats().cache.misses, 0u);
+  EXPECT_TRUE(f.service->GetStats().per_app.empty());
+
+  // Resolve errors need no evaluation, so they are answered inline.
+  auto unknown = f.service->TryRecommendCached(
+      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1)});
+  ASSERT_TRUE(unknown.has_value());
+  EXPECT_EQ(unknown->status().code(), StatusCode::kNotFound);
+
+  // Warm key: a full answer, bit-identical to the blocking path's.
+  auto full = f.service->Recommend(request);
+  ASSERT_TRUE(full.ok());
+  auto warm = f.service->TryRecommendCached(request);
+  ASSERT_TRUE(warm.has_value());
+  ASSERT_TRUE(warm->ok()) << warm->status().ToString();
+  EXPECT_TRUE((*warm)->cache_hit);
+  EXPECT_EQ((*warm)->recommendations.get(), full->recommendations.get());
+
+  const auto stats = f.service->GetStats();
+  const auto& svm = stats.per_app.at("svm");
+  EXPECT_EQ(svm.requests, 2u);
+  EXPECT_EQ(svm.cache_hits, 1u);
+  EXPECT_EQ(svm.cache_misses, 1u);
+  EXPECT_EQ(svm.evaluations, 1u);
+  EXPECT_EQ(svm.latency.count, 2u);
+}
+
+TEST(RecommendationServiceTest, PerAppStatsPartitionTraffic) {
+  ServiceFixture f("per_app");
+  // svm: one unique question asked twice (miss + hit) plus a second unique
+  // question; pca: one question; plus one unknown app.
+  ASSERT_TRUE(f.service->Recommend(SvmRequest(12000, 3000)).ok());
+  ASSERT_TRUE(f.service->Recommend(SvmRequest(12000, 3000)).ok());
+  ASSERT_TRUE(f.service->Recommend(SvmRequest(24000, 6000)).ok());
+  ASSERT_TRUE(f.service
+                  ->Recommend(RecommendRequest{"pca", AppParams{8000, 2000, 5},
+                                               PaperCluster(1)})
+                  .ok());
+  EXPECT_FALSE(f.service
+                   ->Recommend(RecommendRequest{"nope", AppParams{1, 1, 1},
+                                                PaperCluster(1)})
+                   .ok());
+
+  const auto stats = f.service->GetStats();
+  ASSERT_EQ(stats.per_app.size(), 2u)
+      << "rejected app names must not create label series";
+  const auto& svm = stats.per_app.at("svm");
+  EXPECT_EQ(svm.requests, 3u);
+  EXPECT_EQ(svm.cache_hits, 1u);
+  EXPECT_EQ(svm.cache_misses, 2u);
+  EXPECT_EQ(svm.evaluations, 2u);
+  EXPECT_EQ(svm.latency.count, 3u);
+  const auto& pca = stats.per_app.at("pca");
+  EXPECT_EQ(pca.requests, 1u);
+  EXPECT_EQ(pca.cache_misses, 1u);
+  EXPECT_EQ(pca.evaluations, 1u);
+
+  // The per-app slices partition the global counters.
+  EXPECT_EQ(svm.requests + pca.requests, stats.latency.count);
+  EXPECT_EQ(svm.evaluations + pca.evaluations, stats.evaluations);
+  EXPECT_EQ(svm.cache_hits + pca.cache_hits, stats.cache.hits);
+  EXPECT_EQ(svm.cache_misses + pca.cache_misses, stats.cache.misses);
 }
 
 TEST(RecommendationServiceTest, ConcurrentMixedTrafficIsConsistent) {

@@ -223,9 +223,36 @@ void CheckRawSyncPrimitives(const LineCtx& ctx,
       if (HasToken(code[i], token)) {
         ctx.Add(i, "raw-sync-primitive",
                 std::string(token) +
-                    " is banned in src/service/: use the annotated Mutex / "
-                    "MutexLock / CondVar from common/mutex.h so "
-                    "-Wthread-safety can verify lock discipline");
+                    " is banned in src/service/ and src/net/: use the "
+                    "annotated Mutex / MutexLock / CondVar from "
+                    "common/mutex.h so -Wthread-safety can verify lock "
+                    "discipline");
+        break;
+      }
+    }
+  }
+}
+
+void CheckRawSockets(const LineCtx& ctx,
+                     const std::vector<std::string>& code) {
+  // Everything the net subsystem wraps. `bind`/`connect`/`listen` are
+  // deliberately absent (std::bind and API names would false-positive);
+  // a transport that listens still needs `socket`, which does fire.
+  static const char* const kBanned[] = {
+      "socket",     "accept",        "accept4",   "send",
+      "recv",       "sendto",        "recvfrom",  "sendmsg",
+      "recvmsg",    "setsockopt",    "getsockopt", "epoll_create1",
+      "epoll_ctl",  "epoll_wait",
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (HasToken(code[i], token)) {
+        ctx.Add(i, "raw-socket",
+                std::string("'") + token +
+                    "' is banned in src/ outside src/net/: all socket I/O "
+                    "goes through the net subsystem (src/net/socket_util.h, "
+                    "HttpServer) so non-blocking/EINTR/SIGPIPE handling "
+                    "lives in one audited place");
         break;
       }
     }
@@ -344,13 +371,15 @@ std::vector<Finding> LintFile(const std::string& rel_path,
 
   const bool in_src = StartsWith(rel_path, "src/");
   const bool in_service = StartsWith(rel_path, "src/service/");
+  const bool in_net = StartsWith(rel_path, "src/net/");
   const bool is_rng_home = rel_path == "src/common/random.h";
   const bool is_header = IsHeader(rel_path);
 
   if (in_src && !is_rng_home) CheckNondeterminism(ctx, code);
   if (in_src && is_header) CheckIostreamInHeader(ctx, code);
   if (in_src) CheckNakedNew(ctx, code);
-  if (in_service) CheckRawSyncPrimitives(ctx, code);
+  if (in_service || in_net) CheckRawSyncPrimitives(ctx, code);
+  if (in_src && !in_net) CheckRawSockets(ctx, code);
   if (in_src && is_header) CheckUnannotatedMutex(ctx, code);
   if (is_header) CheckIncludeGuard(ctx, code, rel_path);
   return findings;

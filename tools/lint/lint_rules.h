@@ -34,11 +34,18 @@ struct Finding {
 ///    `<ostream>`/`<cstdio>` instead.
 ///  - `naked-new` — src/ — `new` / `delete` outside smart-pointer factories
 ///    (`= delete` member declarations are recognized and allowed).
-///  - `raw-sync-primitive` — src/service/ — `std::mutex`,
+///  - `raw-sync-primitive` — src/service/ and src/net/ — `std::mutex`,
 ///    `std::lock_guard`, `std::unique_lock`, `std::scoped_lock`,
-///    `std::shared_mutex`, `std::condition_variable`. The serving tier must
-///    use the annotated wrappers from common/mutex.h so clang's
+///    `std::shared_mutex`, `std::condition_variable`. The concurrent tiers
+///    must use the annotated wrappers from common/mutex.h so clang's
 ///    -Wthread-safety analysis can verify lock discipline.
+///  - `raw-socket` — src/ except src/net/ — `socket`, `accept`, `accept4`,
+///    `send`, `recv`, `sendto`, `recvfrom`, `sendmsg`, `recvmsg`,
+///    `setsockopt`, `getsockopt`, `epoll_create1`, `epoll_ctl`,
+///    `epoll_wait`. All socket I/O goes through the net subsystem
+///    (src/net/socket_util.h and HttpServer), which centralizes
+///    non-blocking, EINTR, and SIGPIPE handling; tests/bench/examples may
+///    open sockets freely.
 ///  - `unannotated-mutex` — src/ headers — a `Mutex`/`std::mutex` data
 ///    member in a file that never uses `GUARDED_BY`: a mutex that guards
 ///    nothing the analysis can see is a hole in the static checking.
