@@ -1,0 +1,13 @@
+#include "fuzz/harnesses.h"
+
+// Bridges libFuzzer to one harness body. Each fuzz_* target compiles this
+// file with -DJUGGLER_FUZZ_ENTRY=<RunFunction>, so all four harnesses can
+// also coexist in one plain binary (fuzz_replay, corpus_replay_test) without
+// colliding over the LLVMFuzzerTestOneInput symbol.
+#ifndef JUGGLER_FUZZ_ENTRY
+#error "Compile with -DJUGGLER_FUZZ_ENTRY=<harness Run function>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return juggler::fuzz::JUGGLER_FUZZ_ENTRY(data, size);
+}

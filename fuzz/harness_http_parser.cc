@@ -1,0 +1,73 @@
+#include <algorithm>
+#include <string>
+
+#include "fuzz/harnesses.h"
+#include "net/http.h"
+
+namespace juggler::fuzz {
+
+int RunHttpParser(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // Small limits keep each input cheap while still exercising both the
+  // header and body caps; the committed corpus includes inputs on both
+  // sides of each edge.
+  net::HttpParser::Limits limits;
+  limits.max_header_bytes = 2048;
+  limits.max_body_bytes = 4096;
+  net::HttpParser parser(limits);
+
+  const size_t chunk = data[0] == 0 ? size : (data[0] % 97) + 1;
+  const char* bytes = reinterpret_cast<const char*>(data) + 1;
+  size_t remaining = size - 1;
+  bool poisoned = false;
+  while (true) {
+    // Drain everything that is ready before feeding more, like the event
+    // loop does: pipelined requests come out one at a time.
+    while (true) {
+      const net::HttpParser::Result result = parser.Next();
+      if (result.state == net::HttpParser::State::kReady) {
+        const net::HttpRequest& request = result.request;
+        (void)request.Path();
+        (void)request.FindHeader("Content-Length");
+        net::HttpResponse response =
+            net::HttpResponse::Text(200, request.method);
+        const std::string wire =
+            net::SerializeResponse(response, request.KeepAlive());
+        JUGGLER_FUZZ_CHECK(wire.rfind("HTTP/1.1 ", 0) == 0,
+                           "responses start with a status line");
+        continue;
+      }
+      if (result.state == net::HttpParser::State::kError) {
+        JUGGLER_FUZZ_CHECK(result.error_status == 400 ||
+                               result.error_status == 413 ||
+                               result.error_status == 501,
+                           "parser errors map to 400/413/501");
+        JUGGLER_FUZZ_CHECK(!result.error_detail.empty(),
+                           "parser errors carry a reason");
+        poisoned = true;
+      }
+      break;
+    }
+    // A parser that is not mid-error never buffers more than one partial
+    // request; a poisoned one must hold nothing at all (the connection is
+    // about to close — buffering the rest of a hostile stream would be
+    // unbounded memory).
+    if (poisoned) {
+      JUGGLER_FUZZ_CHECK(parser.buffered_bytes() == 0,
+                         "poisoned parser drops its buffer");
+    } else {
+      JUGGLER_FUZZ_CHECK(
+          parser.buffered_bytes() <=
+              limits.max_header_bytes + 4 + limits.max_body_bytes,
+          "drained parser stays within its configured limits");
+    }
+    if (remaining == 0) break;
+    const size_t n = std::min(chunk, remaining);
+    parser.Append(bytes, n);
+    bytes += n;
+    remaining -= n;
+  }
+  return 0;
+}
+
+}  // namespace juggler::fuzz

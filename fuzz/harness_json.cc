@@ -1,0 +1,39 @@
+#include <string>
+
+#include "fuzz/harnesses.h"
+#include "net/json.h"
+
+namespace juggler::fuzz {
+
+int RunJson(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  const auto parsed = net::Json::Parse(text);
+  if (!parsed.ok()) {
+    JUGGLER_FUZZ_CHECK(!parsed.status().message().empty(),
+                       "parse errors carry a diagnostic");
+    return 0;
+  }
+
+  // Round-trip oracle. Dump() is not required to reproduce the input bytes
+  // (whitespace, escapes and number spellings normalize), but the writer's
+  // output must always reparse, and a second Dump must be byte-identical —
+  // otherwise the serving tier could emit responses its own reader rejects.
+  const std::string dumped = parsed->Dump();
+  const auto reparsed = net::Json::Parse(dumped);
+  JUGGLER_FUZZ_CHECK(reparsed.ok(), "Dump() output must reparse");
+  JUGGLER_FUZZ_CHECK(reparsed->type() == parsed->type(),
+                     "round trip preserves the value type");
+  JUGGLER_FUZZ_CHECK(reparsed->Dump() == dumped, "Dump() is idempotent");
+
+  // Drive the lookup helpers the request decoder uses; they must be total
+  // on any parsed value.
+  (void)parsed->Find("app");
+  (void)parsed->NumberOr("examples", 0.0);
+  (void)parsed->StringOr("app", "");
+  (void)parsed->bool_value();
+  (void)parsed->array_items();
+  (void)parsed->object_items();
+  return 0;
+}
+
+}  // namespace juggler::fuzz

@@ -1,0 +1,31 @@
+#include <string>
+
+#include "core/serialization.h"
+#include "fuzz/harnesses.h"
+
+namespace juggler::fuzz {
+
+int RunModelLoader(const uint8_t* data, size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  // The exact entry point ModelRegistry::Refresh() funnels every on-disk
+  // `*.model` artifact through — the bytes here are what an attacker who
+  // can write to the model directory (or corrupt a transfer) controls.
+  auto loaded = core::TrainedJugglerFromString(text);
+  if (!loaded.ok()) {
+    JUGGLER_FUZZ_CHECK(!loaded.status().message().empty(),
+                       "loader errors carry a diagnostic");
+    return 0;
+  }
+
+  // Persistence oracle: anything the loader accepted must save and reload,
+  // and the second save must equal the first (the registry's incremental
+  // refresh depends on artifact bytes being stable).
+  const std::string saved = core::TrainedJugglerToString(*loaded);
+  auto reloaded = core::TrainedJugglerFromString(saved);
+  JUGGLER_FUZZ_CHECK(reloaded.ok(), "a saved model must reload");
+  JUGGLER_FUZZ_CHECK(core::TrainedJugglerToString(*reloaded) == saved,
+                     "save -> load -> save is byte-stable");
+  return 0;
+}
+
+}  // namespace juggler::fuzz

@@ -1,0 +1,63 @@
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/harnesses.h"
+
+// Replays saved fuzz inputs through a harness body without the libFuzzer
+// runtime, so crashes reproduce (and minimized artifacts re-verify) under
+// any compiler and sanitizer combination:
+//
+//   fuzz_replay <harness> <file>...
+//
+// where <harness> is one of http_parser, json, model_loader,
+// recommend_server. Exits non-zero on the first unreadable file; an
+// invariant violation aborts (same behavior as under the fuzzer).
+
+namespace {
+
+using HarnessFn = int (*)(const uint8_t*, size_t);
+
+HarnessFn FindHarness(const char* name) {
+  if (std::strcmp(name, "http_parser") == 0)
+    return juggler::fuzz::RunHttpParser;
+  if (std::strcmp(name, "json") == 0) return juggler::fuzz::RunJson;
+  if (std::strcmp(name, "model_loader") == 0)
+    return juggler::fuzz::RunModelLoader;
+  if (std::strcmp(name, "recommend_server") == 0)
+    return juggler::fuzz::RunRecommendServer;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <http_parser|json|model_loader|recommend_server> "
+                 "<file>...\n",
+                 argv[0]);
+    return 2;
+  }
+  const HarnessFn harness = FindHarness(argv[1]);
+  if (harness == nullptr) {
+    std::fprintf(stderr, "unknown harness: %s\n", argv[1]);
+    return 2;
+  }
+  for (int i = 2; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string bytes = contents.str();
+    std::fprintf(stderr, "replay %s (%zu bytes)\n", argv[i], bytes.size());
+    harness(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size());
+  }
+  std::fprintf(stderr, "replayed %d input(s) cleanly\n", argc - 2);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef JUGGLER_COMMON_PARSE_H_
+#define JUGGLER_COMMON_PARSE_H_
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+namespace juggler {
+
+/// \brief Checked numeric parsing for untrusted input paths.
+///
+/// The C library's conversion functions are traps on hostile bytes: `atoi`
+/// is undefined on overflow, the `strtol` family reports range errors only
+/// through `errno` (easy to forget, easy to race), and `std::stoi` throws.
+/// The `juggler_lint` rule `unchecked-parse` therefore bans all of them in
+/// src/net/ and the model-artifact loader; call sites use these helpers,
+/// which parse with std::from_chars and report failure through the return
+/// value — no errno, no exceptions, no silent saturation.
+///
+/// All helpers require the *entire* input to be consumed: trailing bytes are
+/// a parse failure, so "123abc" never half-succeeds.
+
+/// Parses `text` as an unsigned decimal integer (digits only: no sign, no
+/// whitespace, no hex). Returns false on empty input, any non-digit byte, or
+/// overflow of uint64_t. Leading zeros are accepted ("007" == 7).
+[[nodiscard]] inline bool ParseUnsigned(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  const auto result = std::from_chars(text.data(), text.data() + text.size(),
+                                      *out, /*base=*/10);
+  return result.ec == std::errc() && result.ptr == text.data() + text.size();
+}
+
+/// Parses `text` as a finite double (JSON-style: optional leading '-',
+/// decimal or scientific form; no "inf"/"nan", no leading '+', no hex, no
+/// whitespace). Returns false on malformed input and on overflow; underflow
+/// (e.g. "1e-999") rounds toward zero and succeeds, matching JavaScript and
+/// the previous strtod-based readers.
+[[nodiscard]] inline bool ParseFiniteDouble(const std::string& text,
+                                            double* out) {
+  std::string_view body = text;
+  if (!body.empty() && body.front() == '-') body.remove_prefix(1);
+  if (body.empty() || body.front() < '0' || body.front() > '9') return false;
+  if (body.size() >= 2 && body[0] == '0' && (body[1] == 'x' || body[1] == 'X')) {
+    return false;  // strtod would read hex; no wire format here allows it.
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  // Embedded NUL or trailing bytes -> not fully consumed -> malformed.
+  if (end != text.c_str() + text.size()) return false;
+  // ERANGE covers both directions: overflow yields +/-HUGE_VAL (reject),
+  // underflow yields a magnitude <= DBL_MIN (keep: it is the nearest
+  // representable result).
+  if (errno == ERANGE && std::fabs(value) > 1.0) return false;
+  if (!std::isfinite(value)) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace juggler
+
+#endif  // JUGGLER_COMMON_PARSE_H_

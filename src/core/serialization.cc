@@ -1,6 +1,7 @@
 #include "core/serialization.h"
 
 #include <istream>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -10,6 +11,39 @@ namespace {
 
 constexpr const char* kMagic = "juggler-model";
 constexpr int kVersion = 1;
+
+/// Bytes between the stream's current position and its end, or nullopt for
+/// a non-seekable stream. Leaves the read position where it was.
+std::optional<uint64_t> RemainingBytes(std::istream& in) {
+  const std::istream::pos_type pos = in.tellg();
+  if (pos == std::istream::pos_type(-1)) return std::nullopt;
+  in.seekg(0, std::ios::end);
+  const std::istream::pos_type end = in.tellg();
+  in.seekg(pos);
+  if (end == std::istream::pos_type(-1) || end < pos) return std::nullopt;
+  return static_cast<uint64_t>(end - pos);
+}
+
+/// Guards every allocation sized from a declared count: each element needs
+/// at least `min_bytes_each` bytes of input, so a count larger than the
+/// remaining bytes allow is a corrupt or hostile artifact — reject it
+/// before resizing any vector from it (a forged "datasets 9999999999999"
+/// must cost an error string, not a multi-GB allocation). Non-seekable
+/// streams fall back to an absolute cap generous beyond any real model.
+Status CheckDeclaredCount(std::istream& in, size_t count,
+                          size_t min_bytes_each, const char* what) {
+  constexpr uint64_t kAbsoluteCap = 1 << 24;
+  uint64_t bound = kAbsoluteCap;
+  if (const std::optional<uint64_t> remaining = RemainingBytes(in)) {
+    bound = *remaining / min_bytes_each + 1;
+  }
+  if (count > bound) {
+    return Status::InvalidArgument(
+        std::string(what) + " count " + std::to_string(count) +
+        " exceeds what the remaining input could hold");
+  }
+  return Status::OK();
+}
 
 void WriteModel(std::ostream& out, const std::string& tag,
                 const math::LinearModel& model) {
@@ -25,6 +59,9 @@ StatusOr<math::LinearModel> ReadModel(std::istringstream& line) {
   if (!(line >> family >> count)) {
     return Status::InvalidArgument("malformed model line");
   }
+  // Every coefficient costs at least " 0" of the same line.
+  JUGGLER_RETURN_IF_ERROR(
+      CheckDeclaredCount(line, count, 2, "model coefficient"));
   std::vector<double> coefficients(count);
   for (size_t i = 0; i < count; ++i) {
     if (!(line >> coefficients[i])) {
@@ -123,6 +160,10 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
     if (!(*line >> num_schedules)) {
       return Status::InvalidArgument("bad schedules count");
     }
+    // Each schedule record spans three lines ("schedule ...", "datasets
+    // ...", "plan ...") — conservatively >= 8 bytes of `in`.
+    JUGGLER_RETURN_IF_ERROR(
+        CheckDeclaredCount(in, num_schedules, 8, "schedule"));
   }
   std::vector<Schedule> schedules;
   for (size_t i = 0; i < num_schedules; ++i) {
@@ -141,6 +182,7 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
       if (!(*line >> count)) {
         return Status::InvalidArgument("bad datasets count");
       }
+      JUGGLER_RETURN_IF_ERROR(CheckDeclaredCount(*line, count, 2, "dataset"));
       s.datasets.resize(count);
       for (size_t k = 0; k < count; ++k) {
         if (!(*line >> s.datasets[k])) {
@@ -172,6 +214,7 @@ StatusOr<TrainedJuggler> LoadTrainedJuggler(std::istream& in) {
     if (!(*line >> count)) {
       return Status::InvalidArgument("bad size_models count");
     }
+    JUGGLER_RETURN_IF_ERROR(CheckDeclaredCount(in, count, 8, "size model"));
     for (size_t i = 0; i < count; ++i) {
       auto model_line = NextLine(in, "size_model");
       if (!model_line.ok()) return model_line.status();

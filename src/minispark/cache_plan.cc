@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cstdio>
+#include <limits>
 
 namespace juggler::minispark {
 
@@ -66,6 +67,11 @@ StatusOr<CachePlan> CachePlan::Parse(const std::string& text) {
     int value = 0;
     bool any = false;
     while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+      // Guard the accumulate: a forged "p(99999999999…)" in a model artifact
+      // must be a parse error, not signed-integer overflow (UB).
+      if (value > (std::numeric_limits<int>::max() - (text[i] - '0')) / 10) {
+        return fail("dataset id out of range");
+      }
       value = value * 10 + (text[i] - '0');
       any = true;
       ++i;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdint>
+
+#include "common/parse.h"
 
 namespace juggler::net {
 
@@ -35,16 +38,27 @@ bool IsValidToken(const std::string& s) {
   return !s.empty() && std::all_of(s.begin(), s.end(), IsTokenChar);
 }
 
-/// Parses a Content-Length value: digits only, no sign, no whitespace inside.
-bool ParseContentLength(const std::string& value, size_t* out) {
-  if (value.empty() || value.size() > 18) return false;
-  size_t result = 0;
+/// Content-Length grammar is 1*DIGIT: no sign, no whitespace, no hex.
+/// A value that is digits but does not fit uint64_t is distinguished from
+/// a malformed one so the caller can answer 413 (too large) vs 400 (junk).
+enum class ContentLengthParse { kOk, kMalformed, kOverflow };
+
+ContentLengthParse ParseContentLength(const std::string& value, size_t* out) {
+  if (value.empty()) return ContentLengthParse::kMalformed;
   for (const char c : value) {
-    if (c < '0' || c > '9') return false;
-    result = result * 10 + static_cast<size_t>(c - '0');
+    if (c < '0' || c > '9') return ContentLengthParse::kMalformed;
   }
-  *out = result;
-  return true;
+  uint64_t parsed = 0;
+  if (!ParseUnsigned(value, &parsed)) return ContentLengthParse::kOverflow;
+  *out = static_cast<size_t>(parsed);
+  return ContentLengthParse::kOk;
+}
+
+/// At most the first 40 bytes of `s`, for echoing attacker-controlled text
+/// into one-line error details without amplifying it.
+std::string Snippet(const std::string& s) {
+  constexpr size_t kMax = 40;
+  return s.size() <= kMax ? s : s.substr(0, kMax) + "...";
 }
 
 }  // namespace
@@ -180,7 +194,8 @@ HttpParser::Result HttpParser::Next() {
     return Fail(400, "request target must be origin-form (start with '/')");
   }
   if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0") {
-    return Fail(400, "unsupported HTTP version '" + request.version + "'");
+    return Fail(400,
+                "unsupported HTTP version '" + Snippet(request.version) + "'");
   }
 
   // --- Header fields --------------------------------------------------------
@@ -209,22 +224,34 @@ HttpParser::Result HttpParser::Next() {
     }
     if (EqualsIgnoreCase(name, "Content-Length")) {
       size_t parsed = 0;
-      if (!ParseContentLength(value, &parsed)) {
-        return Fail(400, "invalid Content-Length '" + value + "'");
+      switch (ParseContentLength(value, &parsed)) {
+        case ContentLengthParse::kMalformed:
+          return Fail(400, "invalid Content-Length '" + Snippet(value) + "'");
+        case ContentLengthParse::kOverflow:
+          // A declared size beyond uint64_t is "too large", not junk: the
+          // client framed a body we will never accept. Reject before any
+          // body byte is buffered.
+          return Fail(413, "Content-Length '" + Snippet(value) +
+                               "' overflows; limit is " +
+                               std::to_string(limits_.max_body_bytes));
+        case ContentLengthParse::kOk:
+          break;
       }
       if (have_content_length && parsed != content_length) {
         return Fail(400, "conflicting Content-Length headers");
+      }
+      if (parsed > limits_.max_body_bytes) {
+        // Checked here — not after the header loop — so the 413 (and the
+        // connection close that follows) happens before the flood of body
+        // bytes is ever waited for or buffered.
+        return Fail(413, "body of " + std::to_string(parsed) +
+                             " bytes exceeds limit of " +
+                             std::to_string(limits_.max_body_bytes));
       }
       have_content_length = true;
       content_length = parsed;
     }
     request.headers.emplace_back(std::move(name), std::move(value));
-  }
-
-  if (content_length > limits_.max_body_bytes) {
-    return Fail(413, "body of " + std::to_string(content_length) +
-                         " bytes exceeds limit of " +
-                         std::to_string(limits_.max_body_bytes));
   }
 
   // --- Body -----------------------------------------------------------------

@@ -88,7 +88,14 @@ class HttpParser {
 
   explicit HttpParser(const Limits& limits) : limits_(limits) {}
 
-  void Append(const char* data, size_t size) { buffer_.append(data, size); }
+  /// Buffers incoming bytes. After a protocol error the parser is poisoned
+  /// and Append() drops everything: the connection must close, so buffering
+  /// the rest of a hostile stream would be unbounded memory growth for
+  /// bytes nobody will ever parse.
+  void Append(const char* data, size_t size) {
+    if (failed_) return;
+    buffer_.append(data, size);
+  }
 
   /// Extracts the next complete request from the buffer, if any. After
   /// kError the parser is poisoned: framing is lost, every further Next()

@@ -5,7 +5,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
+
+#include "common/parse.h"
 
 namespace juggler::net {
 
@@ -54,14 +55,19 @@ class Parser {
   }
 
   Status ParseValue(Json* out, int depth) {
-    if (depth > Json::kMaxDepth) return Error("nesting too deep");
     SkipWhitespace();
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     const char c = text_[pos_];
     switch (c) {
+      // `depth` counts enclosing containers, so the check sits on the two
+      // container openers: a document of exactly kMaxDepth nested
+      // arrays/objects (scalars inside included) parses; kMaxDepth + 1 is
+      // an error before any recursion toward stack exhaustion.
       case '{':
+        if (depth >= Json::kMaxDepth) return Error("nesting too deep");
         return ParseObject(out, depth);
       case '[':
+        if (depth >= Json::kMaxDepth) return Error("nesting too deep");
         return ParseArray(out, depth);
       case '"': {
         std::string s;
@@ -129,8 +135,8 @@ class Parser {
       if (pos_ == exp_start) return Error("missing exponent digits");
     }
     const std::string token = text_.substr(start, pos_ - start);
-    const double value = std::strtod(token.c_str(), nullptr);
-    if (!std::isfinite(value)) return Error("number out of range");
+    double value = 0.0;
+    if (!ParseFiniteDouble(token, &value)) return Error("number out of range");
     *out = Json::Number(value);
     return Status::OK();
   }

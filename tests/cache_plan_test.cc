@@ -73,6 +73,20 @@ TEST(CachePlanTest, ParseRejectsGarbage) {
   EXPECT_FALSE(CachePlan::Parse("p(1)u").ok());
 }
 
+TEST(CachePlanTest, ParseRejectsOverflowingDatasetId) {
+  // Plans arrive via model artifacts, which are untrusted bytes: an id
+  // beyond INT_MAX used to overflow the signed accumulator (UB under
+  // UBSan); it must be a clean InvalidArgument instead.
+  auto overflowing = CachePlan::Parse("p(9999999999999999999)");
+  ASSERT_FALSE(overflowing.ok());
+  EXPECT_NE(overflowing.status().message().find("out of range"),
+            std::string::npos);
+  // INT_MAX itself still parses (boundary of the guard).
+  auto at_limit = CachePlan::Parse("p(2147483647)");
+  ASSERT_TRUE(at_limit.ok()) << at_limit.status().ToString();
+  EXPECT_FALSE(CachePlan::Parse("p(2147483648)").ok());
+}
+
 TEST(CachePlanTest, Equality) {
   CachePlan a{{CacheOp::Persist(1)}};
   CachePlan b{{CacheOp::Persist(1)}};

@@ -1,0 +1,68 @@
+// Replays every committed fuzz-corpus input through the harness bodies in
+// fuzz/ (see fuzz/harnesses.h). This runs in the plain tier-1 build — no
+// clang, no libFuzzer — so every input a fuzzing campaign ever found
+// interesting, including the minimized reproducer for each fixed bug, is
+// re-checked by ordinary `ctest` forever.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/harnesses.h"
+#include "gtest/gtest.h"
+
+namespace juggler::fuzz {
+namespace {
+
+namespace fs = std::filesystem;
+
+using HarnessFn = int (*)(const uint8_t*, size_t);
+
+std::vector<fs::path> CorpusFiles(const std::string& harness) {
+  const fs::path dir =
+      fs::path(JUGGLER_SOURCE_DIR) / "fuzz" / "corpus" / harness;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void ReplayAll(const std::string& harness, HarnessFn fn) {
+  const std::vector<fs::path> files = CorpusFiles(harness);
+  // An empty directory means the corpus went missing (bad checkout, renamed
+  // directory) — that must fail, not silently pass.
+  ASSERT_FALSE(files.empty())
+      << "no corpus inputs under fuzz/corpus/" << harness;
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.filename().string());
+    std::ifstream in(file, std::ios::binary);
+    ASSERT_TRUE(in.good()) << "cannot open " << file;
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string bytes = contents.str();
+    EXPECT_EQ(
+        fn(reinterpret_cast<const uint8_t*>(bytes.data()), bytes.size()), 0);
+  }
+  SUCCEED() << "replayed " << files.size() << " inputs";
+}
+
+TEST(CorpusReplayTest, HttpParser) { ReplayAll("http_parser", RunHttpParser); }
+
+TEST(CorpusReplayTest, Json) { ReplayAll("json", RunJson); }
+
+TEST(CorpusReplayTest, ModelLoader) {
+  ReplayAll("model_loader", RunModelLoader);
+}
+
+TEST(CorpusReplayTest, RecommendServer) {
+  ReplayAll("recommend_server", RunRecommendServer);
+}
+
+}  // namespace
+}  // namespace juggler::fuzz

@@ -185,6 +185,55 @@ TEST(LintRawSocket, IgnoresCommentsAndLongerIdentifiers) {
 }
 
 // ---------------------------------------------------------------------------
+// unchecked-parse
+// ---------------------------------------------------------------------------
+
+TEST(LintUncheckedParse, FlagsEveryConversionFamilyOnUntrustedSurfaces) {
+  const std::string bad =
+      "int n = atoi(s.c_str());\n"
+      "long l = std::strtol(s.c_str(), &end, 10);\n"
+      "double d = strtod(s.c_str(), &end);\n"
+      "int i = std::stoi(s);\n"
+      "sscanf(s.c_str(), \"%d\", &n);\n";
+  EXPECT_EQ(CountRule(LintFile("src/net/http.cc", bad), "unchecked-parse"),
+            5);
+  EXPECT_EQ(CountRule(LintFile("src/core/serialization.cc", bad),
+                      "unchecked-parse"),
+            5);
+  EXPECT_EQ(CountRule(LintFile("src/minispark/cache_plan.cc", bad),
+                      "unchecked-parse"),
+            5);
+  EXPECT_TRUE(HasRule(LintFile("src/net/json.cc", "v = atof(tok);\n"),
+                      "unchecked-parse"));
+}
+
+TEST(LintUncheckedParse, ScopedToUntrustedSurfacesOnly) {
+  const std::string uses = "int n = atoi(s.c_str());\n";
+  // The helper's home and the rest of the tree are out of scope: the rule
+  // exists to funnel the untrusted surfaces through common/parse.h, not to
+  // ban the functions globally.
+  EXPECT_FALSE(
+      HasRule(LintFile("src/common/parse.h", uses), "unchecked-parse"));
+  EXPECT_FALSE(
+      HasRule(LintFile("src/minispark/engine.cc", uses), "unchecked-parse"));
+  EXPECT_FALSE(HasRule(LintFile("tests/net_test.cc", uses), "unchecked-parse"));
+}
+
+TEST(LintUncheckedParse, IgnoresCommentsStringsHelpersAndNolint) {
+  const std::string ok =
+      "// strtod would accept \"inf\"; ParseFiniteDouble does not\n"
+      "const char* kMsg = \"do not use atoi here\";\n"
+      "uint64_t parsed = 0;\n"
+      "if (!common::ParseUnsigned(value, &parsed)) return Fail(400);\n"
+      "int histogram_count = 0;\n";
+  EXPECT_FALSE(HasRule(LintFile("src/net/http.cc", ok), "unchecked-parse"));
+  const std::string suppressed =
+      "int n = atoi(s.c_str());  // NOLINT: bounded by caller\n";
+  EXPECT_FALSE(
+      HasRule(LintFile("src/net/http.cc", suppressed), "unchecked-parse"));
+}
+
+// ---------------------------------------------------------------------------
 // unannotated-mutex
 // ---------------------------------------------------------------------------
 

@@ -84,6 +84,44 @@ TEST(JsonTest, RejectsExcessiveNesting) {
   EXPECT_NE(parsed.status().message().find("nesting"), std::string::npos);
 }
 
+TEST(JsonTest, NestingDepthLimitIsExact) {
+  // `depth` counts enclosing containers: exactly kMaxDepth nested arrays
+  // (with a scalar innermost — scalars add no depth) must parse, and one
+  // more must fail. Found while writing the fuzz round-trip oracle: the
+  // old check accepted kMaxDepth + 1 containers.
+  const auto nested = [](int n) {
+    std::string text;
+    for (int i = 0; i < n; ++i) text += "[";
+    text += "0";
+    for (int i = 0; i < n; ++i) text += "]";
+    return text;
+  };
+  auto at_limit = Json::Parse(nested(Json::kMaxDepth));
+  ASSERT_TRUE(at_limit.ok()) << at_limit.status().ToString();
+  EXPECT_EQ(at_limit->Dump(), nested(Json::kMaxDepth));
+  auto past_limit = Json::Parse(nested(Json::kMaxDepth + 1));
+  ASSERT_FALSE(past_limit.ok());
+  EXPECT_NE(past_limit.status().message().find("nesting"), std::string::npos);
+
+  // Objects hit the same cap.
+  std::string objects;
+  for (int i = 0; i < Json::kMaxDepth + 1; ++i) objects += R"({"k":)";
+  objects += "0";
+  for (int i = 0; i < Json::kMaxDepth + 1; ++i) objects += "}";
+  EXPECT_FALSE(Json::Parse(objects).ok());
+}
+
+TEST(JsonTest, NumberRangeEdges) {
+  // Overflow is an error; underflow rounds toward zero (JavaScript
+  // semantics), and both directions must be deterministic across compilers
+  // — the fuzz oracle reparses every Dump().
+  EXPECT_FALSE(Json::Parse("1e999").ok());
+  EXPECT_FALSE(Json::Parse("-1e999").ok());
+  auto tiny = Json::Parse("1e-999");
+  ASSERT_TRUE(tiny.ok()) << tiny.status().ToString();
+  EXPECT_DOUBLE_EQ(tiny->number_value(), 0.0);
+}
+
 TEST(JsonTest, DuplicateKeysFindReturnsFirst) {
   auto parsed = Json::Parse(R"({"k":1,"k":2})");
   ASSERT_TRUE(parsed.ok());
@@ -221,6 +259,69 @@ TEST(HttpParserTest, StaysPoisonedAfterError) {
   EXPECT_EQ(again.state, HttpParser::State::kError)
       << "framing is unrecoverable after a parse error";
   EXPECT_EQ(again.error_status, 400);
+}
+
+TEST(HttpParserTest, PoisonedParserStopsBuffering) {
+  // Found by the fuzz harness invariant: Append() after a protocol error
+  // used to keep growing the buffer forever even though nothing would ever
+  // be parsed from it — unbounded memory per hostile connection.
+  HttpParser parser{HttpParser::Limits{}};
+  ASSERT_EQ(Feed(&parser, "BROKEN\r\n\r\n").state, HttpParser::State::kError);
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+  const std::string flood(1 << 16, 'x');
+  for (int i = 0; i < 4; ++i) parser.Append(flood.data(), flood.size());
+  EXPECT_EQ(parser.buffered_bytes(), 0u)
+      << "a poisoned parser must drop, not buffer, further input";
+}
+
+TEST(HttpParserTest, ContentLengthOverflowAndLimitEdges) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+  const auto error_status = [&limits](const std::string& value) {
+    HttpParser parser{limits};
+    const auto result =
+        Feed(&parser, "POST / HTTP/1.1\r\nContent-Length: " + value + "\r\n\r\n");
+    return result.state == HttpParser::State::kError ? result.error_status : 0;
+  };
+  // Values that do not fit uint64_t are 413 (a size we will never accept),
+  // rejected from the declared length alone — no body byte was fed.
+  EXPECT_EQ(error_status("18446744073709551616"), 413);
+  EXPECT_EQ(error_status(std::string(64, '9')), 413);
+  // Garbage is 400, not UB and not silent truncation.
+  EXPECT_EQ(error_status("0x10"), 400);
+  EXPECT_EQ(error_status("+5"), 400);
+  // Exactly at the body cap parses; one past it is 413.
+  EXPECT_EQ(error_status("17"), 413);
+  HttpParser at_cap{limits};
+  const auto ready = Feed(
+      &at_cap, "POST / HTTP/1.1\r\nContent-Length: 16\r\n\r\n0123456789abcdef");
+  ASSERT_EQ(ready.state, HttpParser::State::kReady);
+  EXPECT_EQ(ready.request.body.size(), 16u);
+  // Leading zeros are valid 1*DIGIT and must not bypass the cap check.
+  EXPECT_EQ(error_status("000000000000000000000017"), 413);
+}
+
+TEST(HttpParserTest, HeaderByteCapCoversCompleteAndIncompleteSections) {
+  HttpParser::Limits limits;
+  limits.max_header_bytes = 128;
+  // Complete header section over the cap: 413.
+  HttpParser complete{limits};
+  const auto complete_result =
+      Feed(&complete,
+           "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a') + "\r\n\r\n");
+  ASSERT_EQ(complete_result.state, HttpParser::State::kError);
+  EXPECT_EQ(complete_result.error_status, 413);
+  // Incomplete section already over the cap: 413 without waiting for the
+  // terminator (the flood would otherwise buffer unboundedly).
+  HttpParser incomplete{limits};
+  const auto incomplete_result =
+      Feed(&incomplete, "GET / HTTP/1.1\r\nX-Pad: " + std::string(200, 'a'));
+  ASSERT_EQ(incomplete_result.state, HttpParser::State::kError);
+  EXPECT_EQ(incomplete_result.error_status, 413);
+  // Just under the cap with the terminator still pending: keep reading.
+  HttpParser under{limits};
+  const auto under_result = Feed(&under, "GET / HTTP/1.1\r\nX-Pad: abc");
+  EXPECT_EQ(under_result.state, HttpParser::State::kNeedMore);
 }
 
 TEST(HttpResponseTest, SerializeEmitsFramingHeaders) {

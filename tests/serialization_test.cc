@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <utility>
 
 #include "core/exec_time_model.h"
 #include "core/juggler.h"
@@ -132,6 +133,52 @@ TEST(SerializationTest, RejectsTruncatedInput) {
     auto loaded = TrainedJugglerFromString(text.substr(0, cut));
     EXPECT_FALSE(loaded.ok()) << "cut at " << cut;
   }
+}
+
+TEST(SerializationTest, RejectsCountInflationWithoutHugeAllocation) {
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  // Inflate a declared count far past what the remaining bytes could hold;
+  // the loader must reject from the count line itself instead of sizing a
+  // multi-GB vector from one forged integer.
+  const auto inflate = [&text](const std::string& anchor, int skip_tokens) {
+    size_t pos = text.find(anchor);
+    EXPECT_NE(pos, std::string::npos) << anchor;
+    pos += anchor.size();
+    for (int i = 0; i < skip_tokens; ++i) pos = text.find(' ', pos) + 1;
+    const size_t end = text.find_first_not_of("0123456789", pos);
+    std::string corrupt = text;
+    corrupt.replace(pos, end - pos, "99999999999999");
+    return corrupt;
+  };
+  for (const auto& [anchor, skip] :
+       {std::pair<const char*, int>{"schedules ", 0},
+        {"datasets ", 0},
+        {"size_models ", 0},
+        {"time_model ", 1}}) {  // "time_model <family> <count> ..."
+    auto loaded = TrainedJugglerFromString(inflate(anchor, skip));
+    ASSERT_FALSE(loaded.ok()) << anchor;
+    EXPECT_NE(loaded.status().message().find("exceeds what the remaining"),
+              std::string::npos)
+        << anchor << ": " << loaded.status().message();
+  }
+}
+
+TEST(SerializationTest, RejectsOverflowingPlanDatasetId) {
+  // A forged plan op like "p(9999999999999999999)" used to overflow the
+  // signed accumulator in CachePlan::Parse (UB); it must be a clean error.
+  const auto training = TrainSmall("pca");
+  const std::string text = TrainedJugglerToString(training.trained);
+  const size_t pos = text.find("plan ");
+  ASSERT_NE(pos, std::string::npos);
+  const size_t eol = text.find('\n', pos);
+  std::string corrupt = text;
+  corrupt.replace(pos, eol - pos, "plan p(9999999999999999999)");
+  auto loaded = TrainedJugglerFromString(corrupt);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("out of range"),
+            std::string::npos)
+      << loaded.status().message();
 }
 
 TEST(SerializationTest, RejectsUnknownModelFamily) {

@@ -259,6 +259,34 @@ void CheckRawSockets(const LineCtx& ctx,
   }
 }
 
+void CheckUncheckedParse(const LineCtx& ctx,
+                         const std::vector<std::string>& code) {
+  // Every one of these either ignores overflow (atoi family), needs a
+  // manual errno dance nobody gets right inline (strto* family), or throws
+  // (sto* family) — three different failure modes for the same job. The
+  // untrusted-byte surfaces route all text-to-number conversion through the
+  // two audited helpers instead.
+  static const char* const kBanned[] = {
+      "atoi",   "atol",   "atoll",   "atof",    "strtol", "strtoul",
+      "strtoll", "strtoull", "strtod", "strtof", "strtold", "stoi",
+      "stol",   "stoll",  "stoul",   "stoull",  "stof",   "stod",
+      "stold",  "sscanf",
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    for (const char* token : kBanned) {
+      if (HasToken(code[i], token)) {
+        ctx.Add(i, "unchecked-parse",
+                std::string("'") + token +
+                    "' is banned on untrusted-byte surfaces (src/net/ and "
+                    "the artifact loader): use ParseUnsigned / "
+                    "ParseFiniteDouble from common/parse.h, which reject "
+                    "overflow, trailing garbage, and non-finite values");
+        break;
+      }
+    }
+  }
+}
+
 void CheckUnannotatedMutex(const LineCtx& ctx,
                            const std::vector<std::string>& code) {
   bool has_guarded_by = false;
@@ -380,14 +408,20 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   if (in_src) CheckNakedNew(ctx, code);
   if (in_service || in_net) CheckRawSyncPrimitives(ctx, code);
   if (in_src && !in_net) CheckRawSockets(ctx, code);
+  // The surfaces that parse untrusted bytes: the HTTP/JSON tier and the
+  // model-artifact loader (serialization + the plan grammar it embeds).
+  const bool parses_untrusted =
+      in_net || StartsWith(rel_path, "src/core/serialization") ||
+      StartsWith(rel_path, "src/minispark/cache_plan");
+  if (parses_untrusted) CheckUncheckedParse(ctx, code);
   if (in_src && is_header) CheckUnannotatedMutex(ctx, code);
   if (is_header) CheckIncludeGuard(ctx, code, rel_path);
   return findings;
 }
 
 std::vector<Finding> LintTree(const std::string& root) {
-  static const char* const kRoots[] = {"src", "tools", "tests", "bench",
-                                       "examples"};
+  static const char* const kRoots[] = {"src",      "tools", "tests",
+                                       "bench",    "examples", "fuzz"};
   std::vector<Finding> findings;
   for (const char* top : kRoots) {
     const fs::path dir = fs::path(root) / top;

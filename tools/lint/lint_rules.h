@@ -46,6 +46,16 @@ struct Finding {
 ///    (src/net/socket_util.h and HttpServer), which centralizes
 ///    non-blocking, EINTR, and SIGPIPE handling; tests/bench/examples may
 ///    open sockets freely.
+///  - `unchecked-parse` — src/net/, src/core/serialization*, and
+///    src/minispark/cache_plan* (the surfaces that parse untrusted bytes) —
+///    the `atoi`/`atof` family (silently ignores overflow), the `strtol`/
+///    `strtod` family (needs a manual errno protocol that is never written
+///    correctly inline), `std::stoi`-style throwing conversions, and
+///    `sscanf`. Text-to-number conversion on these surfaces goes through
+///    `ParseUnsigned` / `ParseFiniteDouble` (common/parse.h), which reject
+///    overflow, trailing garbage, and non-finite values in one audited
+///    place. (common/parse.h itself is outside the scope and is where the
+///    one legitimate `strtod` call lives.)
 ///  - `unannotated-mutex` — src/ headers — a `Mutex`/`std::mutex` data
 ///    member in a file that never uses `GUARDED_BY`: a mutex that guards
 ///    nothing the analysis can see is a hole in the static checking.
