@@ -20,6 +20,11 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,
   kInternal,
+  /// An operation gave up after exhausting its retry budget (e.g. a
+  /// simulated task that failed `max_task_attempts` times). Distinct from
+  /// kInternal so callers can tell "the run was aborted by injected faults"
+  /// from "the library is broken".
+  kAborted,
 };
 
 /// \brief A cheap, copyable success-or-error result.
@@ -55,6 +60,9 @@ class [[nodiscard]] Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

@@ -5,13 +5,15 @@
 namespace juggler::minispark {
 
 std::string ClusterConfig::ToString() const {
-  char buf[160];
+  char buf[192];
   std::snprintf(buf, sizeof(buf),
-                "cluster{machines=%d cores/machine=%d heap=%s M=%s R=%s}",
+                "cluster{machines=%d cores/machine=%d heap=%s M=%s R=%s "
+                "relaunch=%.0fms}",
                 num_machines, cores_per_machine,
                 FormatBytes(executor_memory_bytes).c_str(),
                 FormatBytes(UnifiedMemoryPerMachine()).c_str(),
-                FormatBytes(MinStoragePerMachine()).c_str());
+                FormatBytes(MinStoragePerMachine()).c_str(),
+                executor_relaunch_ms);
   return buf;
 }
 

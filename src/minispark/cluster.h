@@ -57,6 +57,10 @@ struct ClusterConfig {
   double task_overhead_ms = 8.0;
   double job_serial_ms = 90.0;
   double shuffle_latency_ms = 35.0;
+  /// Downtime after an injected executor loss before the replacement
+  /// executor's cores accept tasks again (cluster-manager relaunch + JVM
+  /// start). Only exercised when a FaultSpec schedules executor losses.
+  double executor_relaunch_ms = 2000.0;
 
   MemoryLayout memory_layout;
 

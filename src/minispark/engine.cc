@@ -39,6 +39,12 @@ double RunResult::FractionPartitionsNeverEvicted() const {
 
 namespace {
 
+/// Re-execution cascades deeper than this abort the run: with sane loss
+/// probabilities a chain of lost parents bottoms out in a few hops; an
+/// unbounded cascade (adversarial loss probability ~1) must terminate with a
+/// typed error, not a hang.
+constexpr int kMaxRecoveryDepth = 16;
+
 /// A physical stage: the unit Spark schedules. Tasks of a stage compute
 /// partitions of `terminal`, pipelining all narrow transformations in
 /// `members` (deepest-first), starting from either source data, shuffle
@@ -83,11 +89,14 @@ class RunState {
         cluster_(cluster),
         plan_(plan),
         options_(options),
+        fault_plan_(options.faults),
         rng_(options.seed),
         ever_stored_(static_cast<size_t>(app.num_datasets())),
+        lost_pending_(static_cast<size_t>(app.num_datasets())),
         materialized_(static_cast<size_t>(app.num_datasets()), false),
         persisted_(static_cast<size_t>(app.num_datasets()), false),
-        drop_with_(static_cast<size_t>(app.num_datasets())) {
+        drop_with_(static_cast<size_t>(app.num_datasets())),
+        machine_ready_ms_(static_cast<size_t>(cluster.num_machines), 0.0) {
     for (DatasetId d : plan.PersistedDatasets()) {
       persisted_[static_cast<size_t>(d)] = true;
       drop_with_[static_cast<size_t>(d)] = plan.UnpersistBefore(d);
@@ -106,13 +115,33 @@ class RunState {
     }
   }
 
-  void ExecuteAll();
+  [[nodiscard]] Status ExecuteAll();
   RunResult Finish();
 
  private:
-  void ExecuteJob(int job_index);
+  [[nodiscard]] Status ExecuteJob(int job_index);
   void BuildStages(DatasetId target, std::vector<Stage>* stages);
-  double ExecuteStage(const Stage& stage, int job_index, double start_ms);
+
+  /// Executes one stage at a named point: assigns a fresh stage id, fires
+  /// the fault plan's executor losses for it, re-executes parents whose
+  /// shuffle output was lost, then runs the tasks. Returns the stage end
+  /// time, or kAborted (task attempts exhausted / recovery cascade too
+  /// deep).
+  [[nodiscard]] StatusOr<double> ExecuteStage(
+      const std::vector<Stage>& stages, int stage_index,
+      const std::map<DatasetId, int>& by_terminal, int job_index,
+      double start_ms, int depth);
+
+  /// Runs the stage's tasks (all of them, or — on a re-execution — only the
+  /// tasks whose shuffle output lived on `only_machines`).
+  [[nodiscard]] StatusOr<double> ExecuteStageTasks(
+      const Stage& stage, int job_index, int stage_id, double start_ms,
+      const std::set<int>* only_machines);
+
+  /// Fires the fault plan's executor losses scheduled at (job, stage):
+  /// drops the machines' cached blocks as *lost*, marks their hosted
+  /// shuffle outputs lost, and delays their cores by the relaunch time.
+  void ApplyExecutorLosses(int job_index, int stage_id, double now_ms);
 
   /// Recursively resolves the cost of obtaining partition `partition` of
   /// dataset `d` on machine `m`, appending cost pieces in evaluation order.
@@ -133,18 +162,33 @@ class RunState {
   const ClusterConfig& cluster_;
   const CachePlan& plan_;
   const RunOptions& options_;
+  FaultPlan fault_plan_;
   Rng rng_;
 
   std::vector<MachineState> machines_;
   /// ever_stored_[d] holds partition indices of d that were cached at some
   /// point (distinguishes first materialization from eviction recompute).
   std::vector<std::set<int>> ever_stored_;
+  /// lost_pending_[d]: partitions dropped by executor loss and not yet
+  /// recomputed — the recompute that clears an entry counts as
+  /// `partitions_recomputed_after_loss`.
+  std::vector<std::set<int>> lost_pending_;
   std::vector<bool> materialized_;
   /// Dynamic persist state: true while p(d) is in effect; cleared when a
   /// u(d) op triggers (an unpersisted dataset is never re-stored).
   std::vector<bool> persisted_;
   /// drop_with_[y]: datasets to unpersist while y first materializes.
   std::vector<std::vector<DatasetId>> drop_with_;
+
+  /// Shuffle-output bookkeeping for stage re-execution: which machines host
+  /// the map outputs of each completed shuffle-writing stage (keyed by the
+  /// stage's terminal dataset), and which of those hosts have died since.
+  std::map<DatasetId, std::set<int>> shuffle_hosts_;
+  std::map<DatasetId, std::set<int>> shuffle_lost_hosts_;
+
+  /// Absolute time before which a machine's cores accept no tasks (executor
+  /// relaunch after an injected loss).
+  std::vector<double> machine_ready_ms_;
 
   double now_ms_ = 0.0;
   int next_stage_id_ = 0;
@@ -153,6 +197,13 @@ class RunState {
   std::map<DatasetId, DatasetCacheStats> stats_;
   int64_t hits_ = 0;
   int64_t recomputes_ = 0;
+  int64_t tasks_retried_ = 0;
+  int64_t stages_reexecuted_ = 0;
+  int64_t executors_lost_ = 0;
+  int64_t partitions_lost_ = 0;
+  int64_t recomputed_after_loss_ = 0;
+  int64_t speculative_launched_ = 0;
+  int64_t speculative_wins_ = 0;
 
   std::shared_ptr<ProfilingDb> profile_;
 };
@@ -246,10 +297,20 @@ void RunState::ResolveChain(DatasetId d, int partition, MachineState& machine,
     auto& stored_set = ever_stored_[static_cast<size_t>(d)];
     const bool was_cached_before = stored_set.count(partition) > 0;
     if (was_cached_before) {
-      // This partition had been cached and was evicted: the read is a
-      // recomputation (paper §1's 97x-slower case).
+      // This partition had been cached and was evicted or lost: the read is
+      // a recomputation (paper §1's 97x-slower case). Recomputation walks
+      // the same lineage as the first materialization, so the rebuilt
+      // partition is bit-identical in size and provenance to the original.
       ++recomputes_;
       ++stats_[d].recomputes;
+      auto& lost_set = lost_pending_[static_cast<size_t>(d)];
+      if (auto lost_it = lost_set.find(partition); lost_it != lost_set.end()) {
+        // Specifically a failure-driven recompute (executor loss), not a
+        // memory-pressure one.
+        ++recomputed_after_loss_;
+        ++stats_[d].recomputed_after_loss;
+        lost_set.erase(lost_it);
+      }
     }
     if (machine.mem.StoreBlock(bid, ds.PartitionBytes())) {
       ++stats_[d].stored;
@@ -268,11 +329,101 @@ void RunState::ResolveChain(DatasetId d, int partition, MachineState& machine,
   }
 }
 
-double RunState::ExecuteStage(const Stage& stage, int job_index,
-                              double start_ms) {
+void RunState::ApplyExecutorLosses(int job_index, int stage_id,
+                                   double now_ms) {
+  if (!fault_plan_.enabled() ||
+      fault_plan_.spec().executor_loss_prob <= 0.0) {
+    return;
+  }
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    if (!fault_plan_.ExecutorLost(job_index, stage_id, static_cast<int>(m))) {
+      continue;
+    }
+    ++executors_lost_;
+    machine_ready_ms_[m] = std::max(
+        machine_ready_ms_[m], now_ms + cluster_.executor_relaunch_ms);
+    for (const BlockId& b : machines_[m].mem.LoseAllBlocks()) {
+      ++partitions_lost_;
+      ++stats_[b.dataset].lost;
+      lost_pending_[static_cast<size_t>(b.dataset)].insert(b.partition);
+    }
+    for (const auto& [terminal, hosts] : shuffle_hosts_) {
+      if (hosts.count(static_cast<int>(m)) > 0) {
+        shuffle_lost_hosts_[terminal].insert(static_cast<int>(m));
+      }
+    }
+  }
+}
+
+StatusOr<double> RunState::ExecuteStage(
+    const std::vector<Stage>& stages, int stage_index,
+    const std::map<DatasetId, int>& by_terminal, int job_index,
+    double start_ms, int depth) {
+  if (depth > kMaxRecoveryDepth) {
+    return Status::Aborted(
+        "stage recovery cascade exceeded depth " +
+        std::to_string(kMaxRecoveryDepth) + " in job " +
+        std::to_string(job_index) +
+        " (executor losses keep destroying re-executed shuffle output)");
+  }
+  const Stage& stage = stages[static_cast<size_t>(stage_index)];
+  const int stage_id = next_stage_id_++;
+
+  // Fire the fault plan's losses scheduled at this named point, *before*
+  // checking parents: a loss here may be what destroys a parent's output.
+  ApplyExecutorLosses(job_index, stage_id, start_ms);
+
+  // Spark semantics: a missing-shuffle fetch failure re-submits the parent
+  // stage for the lost map outputs only, then retries this stage.
+  for (DatasetId pt : stage.parent_stage_terminals) {
+    const auto lost_it = shuffle_lost_hosts_.find(pt);
+    if (lost_it == shuffle_lost_hosts_.end() || lost_it->second.empty()) {
+      continue;
+    }
+    ++stages_reexecuted_;
+    const int parent_index = by_terminal.at(pt);
+    const int parent_stage_id = next_stage_id_++;
+    ApplyExecutorLosses(job_index, parent_stage_id, start_ms);
+    // A loss fired during the re-submission may have grown the lost set of
+    // the parent's own parents; recover those first.
+    const Stage& parent = stages[static_cast<size_t>(parent_index)];
+    for (DatasetId grand : parent.parent_stage_terminals) {
+      const auto grand_it = shuffle_lost_hosts_.find(grand);
+      if (grand_it == shuffle_lost_hosts_.end() || grand_it->second.empty()) {
+        continue;
+      }
+      // Delegate to a full recursive execution of the grandparent repair by
+      // re-running this loop's machinery one level down.
+      auto repaired = ExecuteStage(stages, parent_index, by_terminal,
+                                   job_index, start_ms, depth + 1);
+      if (!repaired.ok()) return repaired.status();
+      start_ms = *repaired;
+      break;
+    }
+    // Re-run only the parent tasks whose output lived on the dead hosts
+    // (the relaunched executors pick their old partitions back up). Re-read
+    // the lost set now: the re-submission's own losses above may have grown
+    // it, and the grandparent repair may have cleared it entirely.
+    const auto again = shuffle_lost_hosts_.find(pt);
+    if (again != shuffle_lost_hosts_.end() && !again->second.empty()) {
+      const std::set<int> lost_hosts = again->second;
+      auto reexec = ExecuteStageTasks(parent, job_index, parent_stage_id,
+                                      start_ms, &lost_hosts);
+      if (!reexec.ok()) return reexec.status();
+      start_ms = *reexec;
+      shuffle_lost_hosts_.erase(pt);
+    }
+  }
+
+  return ExecuteStageTasks(stage, job_index, stage_id, start_ms,
+                           /*only_machines=*/nullptr);
+}
+
+StatusOr<double> RunState::ExecuteStageTasks(const Stage& stage, int job_index,
+                                             int stage_id, double start_ms,
+                                             const std::set<int>* only_machines) {
   const Dataset& terminal = app_.dataset(stage.terminal);
   const int num_tasks = terminal.num_partitions;
-  const int stage_id = next_stage_id_++;
 
   // Unpersist triggers: when a persisted dataset first materializes in this
   // stage, the datasets scheduled for u() before it stop being persisted
@@ -308,16 +459,45 @@ double RunState::ExecuteStage(const Stage& stage, int job_index,
     spill_factor[m] = 1.0 + options_.spill_compute_penalty * shortfall;
   }
 
-  for (auto& m : machines_) {
-    std::fill(m.core_free_ms.begin(), m.core_free_ms.end(), start_ms);
+  for (size_t m = 0; m < machines_.size(); ++m) {
+    // A machine whose executor is mid-relaunch joins the stage late.
+    std::fill(machines_[m].core_free_ms.begin(),
+              machines_[m].core_free_ms.end(),
+              std::max(start_ms, machine_ready_ms_[m]));
   }
 
   if (profile_) {
     profile_->AddStage(StageRecord{job_index, stage_id, stage.terminal, num_tasks});
   }
 
+  const double instr_factor =
+      options_.instrument ? 1.0 + options_.instrumentation_overhead : 1.0;
+  const int max_attempts = std::max(1, options_.faults.max_task_attempts);
+
   for (int t = 0; t < num_tasks; ++t) {
-    MachineState& machine = machines_[static_cast<size_t>(MachineFor(t))];
+    const int machine_index = MachineFor(t);
+    if (only_machines != nullptr && only_machines->count(machine_index) == 0) {
+      continue;  // Re-execution repairs only the lost hosts' outputs.
+    }
+    MachineState& machine = machines_[static_cast<size_t>(machine_index)];
+
+    // Retry schedule first: an exhausted task aborts the run before its
+    // attempts touch any cache state.
+    int failed_attempts = 0;
+    if (fault_plan_.enabled() &&
+        fault_plan_.spec().task_failure_prob > 0.0) {
+      while (failed_attempts < max_attempts &&
+             fault_plan_.TaskFails(job_index, stage_id, t, failed_attempts)) {
+        ++failed_attempts;
+      }
+      if (failed_attempts >= max_attempts) {
+        return Status::Aborted(
+            "task " + TaskCoord{job_index, stage_id, t}.ToString() +
+            " (dataset '" + terminal.name + "') failed " +
+            std::to_string(max_attempts) +
+            " attempts; giving up (spark.task.maxFailures)");
+      }
+    }
 
     std::vector<Piece> pieces;
     ResolveChain(stage.terminal, t, machine, &pieces);
@@ -329,19 +509,37 @@ double RunState::ExecuteStage(const Stage& stage, int job_index,
     double work_ms = 0.0;
     for (const Piece& piece : pieces) work_ms += piece.ms;
 
-    double scale = spill_factor[static_cast<size_t>(MachineFor(t))];
+    double scale = spill_factor[static_cast<size_t>(machine_index)];
     if (options_.noise_sigma > 0.0) scale *= rng_.Jitter(options_.noise_sigma);
     if (options_.straggler_prob > 0.0 &&
         rng_.Bernoulli(options_.straggler_prob)) {
       scale *= options_.straggler_factor;
     }
-    if (options_.instrument) scale *= 1.0 + options_.instrumentation_overhead;
+    if (fault_plan_.enabled()) {
+      scale *= fault_plan_.StragglerFactor(job_index, stage_id, t);
+    }
+    scale *= instr_factor;
 
-    // Earliest-free core on the task's machine.
+    // Earliest-free core on the task's machine; failed attempts occupy it
+    // serially before the successful attempt starts (Spark re-schedules a
+    // failed task with locality preference for the same data).
     auto core = std::min_element(machine.core_free_ms.begin(),
                                  machine.core_free_ms.end());
-    const double task_start = *core;
-    double cursor = task_start + cluster_.task_overhead_ms;
+    double cursor = *core;
+    for (int a = 0; a < failed_attempts; ++a) {
+      const double frac = fault_plan_.FailureFraction(job_index, stage_id, t, a);
+      const double fail_start = cursor;
+      cursor += cluster_.task_overhead_ms + work_ms * scale * frac;
+      ++tasks_retried_;
+      if (profile_) {
+        profile_->AddTask(TaskRecord{job_index, stage_id, t, machine_index,
+                                     fail_start, cursor, a,
+                                     /*speculative=*/false, /*failed=*/true});
+      }
+    }
+
+    const double task_start = cursor;
+    cursor += cluster_.task_overhead_ms;
     if (profile_) {
       for (const Piece& piece : pieces) {
         const double dur = piece.ms * scale;
@@ -355,11 +553,56 @@ double RunState::ExecuteStage(const Stage& stage, int job_index,
       cursor += work_ms * scale;
     }
     const double task_finish = cursor;
-    if (profile_) {
-      profile_->AddTask(TaskRecord{job_index, stage_id, t, MachineFor(t),
-                                   task_start, task_finish});
+
+    // Speculative execution: a task that overruns its clean estimate gets a
+    // duplicate on the next machine; the earlier finisher wins and the
+    // loser is killed at that moment.
+    double effective_finish = task_finish;
+    bool original_killed = false;
+    if (fault_plan_.enabled() && options_.faults.speculation &&
+        machines_.size() > 1) {
+      const double clean_ms =
+          cluster_.task_overhead_ms +
+          work_ms * spill_factor[static_cast<size_t>(machine_index)] *
+              instr_factor;
+      const double detect_ms =
+          task_start + clean_ms * options_.faults.speculation_multiplier;
+      if (task_finish > detect_ms) {
+        const size_t spec_machine =
+            (static_cast<size_t>(machine_index) + 1) % machines_.size();
+        auto spec_core =
+            std::min_element(machines_[spec_machine].core_free_ms.begin(),
+                             machines_[spec_machine].core_free_ms.end());
+        const double spec_start = std::max(
+            {detect_ms, *spec_core, machine_ready_ms_[spec_machine]});
+        if (spec_start < task_finish) {
+          ++speculative_launched_;
+          const double spec_finish =
+              spec_start + cluster_.task_overhead_ms +
+              work_ms * spill_factor[spec_machine] * instr_factor;
+          if (spec_finish < task_finish) {
+            ++speculative_wins_;
+            effective_finish = spec_finish;
+            original_killed = true;
+          }
+          *spec_core = effective_finish;  // Loser killed when winner lands.
+          if (profile_) {
+            profile_->AddTask(TaskRecord{
+                job_index, stage_id, t, static_cast<int>(spec_machine),
+                spec_start, effective_finish, failed_attempts,
+                /*speculative=*/true, /*failed=*/!original_killed});
+          }
+        }
+      }
     }
-    *core = task_finish;
+
+    if (profile_) {
+      profile_->AddTask(TaskRecord{job_index, stage_id, t, machine_index,
+                                   task_start, effective_finish,
+                                   failed_attempts, /*speculative=*/false,
+                                   /*failed=*/original_killed});
+    }
+    *core = effective_finish;
   }
 
   double end_ms = start_ms;
@@ -374,6 +617,15 @@ double RunState::ExecuteStage(const Stage& stage, int job_index,
     for (auto& m : machines_) m.mem.DropDataset(drop);
   }
 
+  // A full execution of a shuffle-writing stage (re)establishes its map
+  // outputs on the machines that ran its tasks.
+  if (!stage.shuffle_writes.empty() && only_machines == nullptr) {
+    std::set<int> hosts;
+    for (int t = 0; t < num_tasks; ++t) hosts.insert(MachineFor(t));
+    shuffle_hosts_[stage.terminal] = std::move(hosts);
+    shuffle_lost_hosts_.erase(stage.terminal);
+  }
+
   // Stage launch latency plus all-to-all shuffle coordination that grows
   // with the cluster size (the paper's area-B overhead).
   end_ms += 5.0;
@@ -383,7 +635,7 @@ double RunState::ExecuteStage(const Stage& stage, int job_index,
   return end_ms;
 }
 
-void RunState::ExecuteJob(int job_index) {
+Status RunState::ExecuteJob(int job_index) {
   const Job& job = app_.jobs[static_cast<size_t>(job_index)];
   const double job_start = now_ms_;
 
@@ -408,7 +660,10 @@ void RunState::ExecuteJob(int job_index) {
   visit(0);
 
   for (int s : order) {
-    now_ms_ = ExecuteStage(stages[static_cast<size_t>(s)], job_index, now_ms_);
+    auto end = ExecuteStage(stages, s, by_terminal, job_index, now_ms_,
+                            /*depth=*/0);
+    if (!end.ok()) return end.status();
+    now_ms_ = *end;
   }
 
   // Serial driver work + result transfer back to the driver.
@@ -418,10 +673,14 @@ void RunState::ExecuteJob(int job_index) {
   if (profile_) {
     profile_->AddJob(JobRecord{job_index, job.name, job.target, job_start, now_ms_});
   }
+  return Status::OK();
 }
 
-void RunState::ExecuteAll() {
-  for (int j = 0; j < static_cast<int>(app_.jobs.size()); ++j) ExecuteJob(j);
+Status RunState::ExecuteAll() {
+  for (int j = 0; j < static_cast<int>(app_.jobs.size()); ++j) {
+    JUGGLER_RETURN_IF_ERROR(ExecuteJob(j));
+  }
+  return Status::OK();
 }
 
 RunResult RunState::Finish() {
@@ -431,6 +690,13 @@ RunResult RunState::Finish() {
   result.duration_ms = now_ms_;
   result.cache_hits = hits_;
   result.cache_recomputes = recomputes_;
+  result.tasks_retried = tasks_retried_;
+  result.stages_reexecuted = stages_reexecuted_;
+  result.executors_lost = executors_lost_;
+  result.partitions_lost = partitions_lost_;
+  result.partitions_recomputed_after_loss = recomputed_after_loss_;
+  result.speculative_launched = speculative_launched_;
+  result.speculative_wins = speculative_wins_;
 
   // Distinct evictions per dataset, collected from every machine's memory
   // manager (evictions and rejections both count: the partition is not in
@@ -472,6 +738,7 @@ StatusOr<RunResult> Engine::Run(const Application& app,
   if (cluster.num_machines <= 0 || cluster.cores_per_machine <= 0) {
     return Status::InvalidArgument("cluster must have machines and cores");
   }
+  JUGGLER_RETURN_IF_ERROR(options_.faults.Validate());
   for (const CacheOp& op : plan.ops) {
     if (op.dataset < 0 || op.dataset >= app.num_datasets()) {
       return Status::InvalidArgument("cache plan references unknown dataset " +
@@ -479,7 +746,7 @@ StatusOr<RunResult> Engine::Run(const Application& app,
     }
   }
   RunState state(app, cluster, plan, options_);
-  state.ExecuteAll();
+  JUGGLER_RETURN_IF_ERROR(state.ExecuteAll());
   return state.Finish();
 }
 

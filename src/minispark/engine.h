@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "minispark/application.h"
 #include "minispark/cluster.h"
+#include "minispark/faults.h"
 #include "minispark/profiling.h"
 
 namespace juggler::minispark {
@@ -31,6 +32,10 @@ struct RunOptions {
   /// spilling when execution memory cannot be granted).
   double spill_compute_penalty = 1.0;
   double instrumentation_overhead = 0.03;
+  /// Deterministic fault schedule (task failures, executor loss, plan-driven
+  /// stragglers + speculation). Default: no faults — the engine behaves
+  /// exactly as it did before the recovery layer existed.
+  FaultSpec faults;
 };
 
 /// \brief Per-dataset cache behaviour over a run.
@@ -42,6 +47,8 @@ struct DatasetCacheStats {
   int64_t distinct_evicted = 0;  ///< Distinct partitions ever evicted/rejected.
   int64_t resident_at_end = 0;   ///< Blocks still in memory when the app ended.
   bool persisted_at_end = false; ///< False once a u() op dropped the dataset.
+  int64_t lost = 0;              ///< Blocks dropped by executor loss.
+  int64_t recomputed_after_loss = 0;  ///< Lineage recomputes of lost blocks.
 };
 
 /// \brief Outcome of one simulated application run.
@@ -56,6 +63,26 @@ struct RunResult {
   int64_t store_rejections = 0;
   /// Largest execution-memory footprint any executor reached (bytes).
   double peak_execution_bytes = 0.0;
+
+  // Recovery counters (all zero when RunOptions::faults schedules nothing).
+  /// Failed task attempts that were retried (each retry re-occupied a core
+  /// for the failed fraction of the task's work).
+  int64_t tasks_retried = 0;
+  /// Stages re-executed because a child found its parent's shuffle output
+  /// gone after an executor loss.
+  int64_t stages_reexecuted = 0;
+  /// Injected executor losses (one per (stage, machine) the plan fired on).
+  int64_t executors_lost = 0;
+  /// Cached blocks dropped by executor loss — distinct from blocks_evicted:
+  /// losses are failures, evictions are memory pressure.
+  int64_t partitions_lost = 0;
+  /// Lineage recomputations of previously cached partitions whose block was
+  /// lost (not evicted). Always <= cache_recomputes, which counts both.
+  int64_t partitions_recomputed_after_loss = 0;
+  /// Speculative duplicates launched against stragglers, and how many beat
+  /// the original attempt.
+  int64_t speculative_launched = 0;
+  int64_t speculative_wins = 0;
 
   std::map<DatasetId, DatasetCacheStats> dataset_stats;
 
@@ -93,6 +120,13 @@ class Engine {
   explicit Engine(RunOptions options = RunOptions{}) : options_(options) {}
 
   /// Runs `app` on `cluster` with caching decisions from `plan`.
+  ///
+  /// With RunOptions::faults scheduling failures, the run either completes
+  /// with correct final metrics (lost partitions recomputed through their
+  /// lineage, retries and re-executions folded into the duration and the
+  /// recovery counters) or returns a typed error: kAborted naming the task
+  /// that exhausted `max_task_attempts` (or the stage that exceeded its
+  /// re-execution budget). Never a silently wrong answer, never a hang.
   [[nodiscard]] StatusOr<RunResult> Run(const Application& app, const ClusterConfig& cluster,
                           const CachePlan& plan) const;
 

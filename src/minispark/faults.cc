@@ -1,0 +1,124 @@
+#include "minispark/faults.h"
+
+#include <cstdio>
+
+namespace juggler::minispark {
+
+namespace {
+
+/// SplitMix64 finalizer: full-avalanche mixing of one 64-bit word.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Uniform double in [0,1) from a hash.
+double Unit(uint64_t h) { return static_cast<double>(h >> 11) * 0x1.0p-53; }
+
+// Decision-kind salts: distinct streams per query type so, e.g., the task
+// failure and failure-fraction draws at the same coordinates are independent.
+constexpr uint64_t kSaltTaskFail = 0xf417'0001;
+constexpr uint64_t kSaltFailFrac = 0xf417'0002;
+constexpr uint64_t kSaltExecLoss = 0xf417'0003;
+constexpr uint64_t kSaltStraggler = 0xf417'0004;
+
+}  // namespace
+
+Status FaultSpec::Validate() const {
+  auto prob_ok = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!prob_ok(task_failure_prob) || !prob_ok(executor_loss_prob) ||
+      !prob_ok(straggler_prob)) {
+    return Status::InvalidArgument("fault probabilities must be in [0, 1]");
+  }
+  if (max_task_attempts < 1) {
+    return Status::InvalidArgument("max_task_attempts must be >= 1");
+  }
+  if (straggler_factor < 1.0) {
+    return Status::InvalidArgument("straggler_factor must be >= 1");
+  }
+  if (speculation_multiplier < 1.0) {
+    return Status::InvalidArgument("speculation_multiplier must be >= 1");
+  }
+  return Status::OK();
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec) : spec_(spec), key_(Mix(spec.seed)) {}
+
+uint64_t FaultPlan::Draw(uint64_t salt, int job, int stage, int task,
+                         int attempt) const {
+  // Chained SplitMix64 over the coordinates: stateless, order-independent,
+  // and avalanche-mixed so nearby coordinates decorrelate.
+  uint64_t h = Mix(key_ ^ Mix(salt));
+  h = Mix(h ^ static_cast<uint64_t>(job));
+  h = Mix(h ^ static_cast<uint64_t>(stage));
+  h = Mix(h ^ static_cast<uint64_t>(task));
+  h = Mix(h ^ static_cast<uint64_t>(attempt));
+  return h;
+}
+
+bool FaultPlan::TaskFails(int job, int stage, int task, int attempt) const {
+  if (spec_.task_failure_prob <= 0.0) return false;
+  return Unit(Draw(kSaltTaskFail, job, stage, task, attempt)) <
+         spec_.task_failure_prob;
+}
+
+double FaultPlan::FailureFraction(int job, int stage, int task,
+                                  int attempt) const {
+  // Failures land between 10% and 90% of the attempt's work: never free,
+  // never a full task's worth.
+  return 0.1 + 0.8 * Unit(Draw(kSaltFailFrac, job, stage, task, attempt));
+}
+
+bool FaultPlan::ExecutorLost(int job, int stage, int machine) const {
+  if (spec_.executor_loss_prob <= 0.0) return false;
+  return Unit(Draw(kSaltExecLoss, job, stage, machine, 0)) <
+         spec_.executor_loss_prob;
+}
+
+double FaultPlan::StragglerFactor(int job, int stage, int task) const {
+  if (spec_.straggler_prob <= 0.0) return 1.0;
+  return Unit(Draw(kSaltStraggler, job, stage, task, 0)) < spec_.straggler_prob
+             ? spec_.straggler_factor
+             : 1.0;
+}
+
+uint64_t FaultPlan::Fingerprint() const {
+  // Bounded probe grid: big enough that any two differing plans disagree
+  // somewhere inside it for every workload this repo runs.
+  constexpr int kJobs = 4, kStages = 24, kTasks = 48, kAttempts = 3;
+  uint64_t digest = Mix(key_);
+  for (int j = 0; j < kJobs; ++j) {
+    for (int s = 0; s < kStages; ++s) {
+      for (int m = 0; m < 16; ++m) {
+        if (ExecutorLost(j, s, m)) digest = Mix(digest ^ Draw(kSaltExecLoss, j, s, m, 0));
+      }
+      for (int t = 0; t < kTasks; ++t) {
+        if (StragglerFactor(j, s, t) != 1.0) {
+          digest = Mix(digest ^ Draw(kSaltStraggler, j, s, t, 0));
+        }
+        for (int a = 0; a < kAttempts; ++a) {
+          if (TaskFails(j, s, t, a)) {
+            digest = Mix(digest ^ Draw(kSaltTaskFail, j, s, t, a));
+          }
+        }
+      }
+    }
+  }
+  return digest;
+}
+
+std::string FaultPlan::Describe() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "faults{seed=%llu task_fail=%.3g max_attempts=%d "
+                "exec_loss=%.3g straggler=%.3gx%.3g speculation=%s}",
+                static_cast<unsigned long long>(spec_.seed),
+                spec_.task_failure_prob, spec_.max_task_attempts,
+                spec_.executor_loss_prob, spec_.straggler_prob,
+                spec_.straggler_factor, spec_.speculation ? "on" : "off");
+  return buf;
+}
+
+}  // namespace juggler::minispark

@@ -1,0 +1,108 @@
+#ifndef JUGGLER_MINISPARK_FAULTS_H_
+#define JUGGLER_MINISPARK_FAULTS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "minispark/types.h"
+
+namespace juggler::minispark {
+
+/// \brief Knobs of the deterministic fault model (what a real Spark cluster
+/// throws at a run and the recovery machinery the engine must exercise).
+///
+/// All probabilities are per decision point: `task_failure_prob` per task
+/// *attempt*, `executor_loss_prob` per (stage, machine) pair at stage start,
+/// `straggler_prob` per task. Zero everywhere (the default) disables the
+/// fault layer entirely; the engine then behaves exactly as before.
+struct FaultSpec {
+  /// Seed of the fault schedule. Independent from RunOptions::seed so that
+  /// the same workload noise can be replayed under different fault plans
+  /// (and vice versa). The same spec always produces the same plan.
+  uint64_t seed = 42;
+
+  /// Probability that one task attempt fails (lost executor heartbeat,
+  /// fetch failure, OOM-killed JVM, ...). Spark retries the task.
+  double task_failure_prob = 0.0;
+  /// Spark's `spark.task.maxFailures`: attempts per task before the engine
+  /// aborts the run with a typed error naming the task.
+  int max_task_attempts = 4;
+
+  /// Probability, per (stage, machine), that the machine's executor dies at
+  /// the start of that stage. Loss drops every cached block on the machine
+  /// and every shuffle output it hosts; the executor relaunches after
+  /// ClusterConfig::executor_relaunch_ms.
+  double executor_loss_prob = 0.0;
+
+  /// Probability that a task is slowed by `straggler_factor` (hot neighbour,
+  /// failing disk, ...). Unlike RunOptions' legacy straggler knob this one is
+  /// scheduled by the plan, so speculative execution can race it.
+  double straggler_prob = 0.0;
+  double straggler_factor = 2.5;
+
+  /// Speculative execution (`spark.speculation`): a task running longer than
+  /// `speculation_multiplier` x its clean estimate gets a duplicate launched
+  /// on another machine; the earlier finisher wins and the loser is killed.
+  bool speculation = true;
+  double speculation_multiplier = 1.5;
+
+  bool AnyFaults() const {
+    return task_failure_prob > 0.0 || executor_loss_prob > 0.0 ||
+           straggler_prob > 0.0;
+  }
+
+  /// InvalidArgument unless probabilities are in [0,1], factors >= 1, and
+  /// max_task_attempts >= 1.
+  [[nodiscard]] Status Validate() const;
+};
+
+/// \brief Deterministic schedule of failures for one run.
+///
+/// Every decision is a pure function of (seed, decision kind, coordinates):
+/// the plan keeps no mutable state, so queries are order-independent and the
+/// same seed replays byte-identically no matter how recovery reshuffles the
+/// execution. Seeds are scrambled (SplitMix64) before use, so seed and
+/// seed+1 yield unrelated plans.
+class FaultPlan {
+ public:
+  FaultPlan() = default;  ///< No faults.
+  explicit FaultPlan(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+  bool enabled() const { return spec_.AnyFaults(); }
+
+  /// True if attempt `attempt` (0-based) of the task fails.
+  bool TaskFails(int job, int stage, int task, int attempt) const;
+
+  /// How far through its work a failing attempt gets before dying, in (0,1).
+  /// The failed attempt still occupied its core for that fraction.
+  double FailureFraction(int job, int stage, int task, int attempt) const;
+
+  /// True if the machine's executor is lost at the start of this stage.
+  bool ExecutorLost(int job, int stage, int machine) const;
+
+  /// Multiplicative slowdown of the task: `straggler_factor` when the plan
+  /// schedules a straggler here, else 1.0.
+  double StragglerFactor(int job, int stage, int task) const;
+
+  /// Order-independent digest of every decision over a bounded probe grid
+  /// (jobs x stages x tasks x attempts). Two plans with different schedules
+  /// have different fingerprints with overwhelming probability — the test
+  /// hook behind "seed+1 produces a different plan".
+  uint64_t Fingerprint() const;
+
+  /// Human-readable one-line summary of the spec (for logs and tests).
+  std::string Describe() const;
+
+ private:
+  uint64_t Draw(uint64_t salt, int job, int stage, int task,
+                int attempt) const;
+
+  FaultSpec spec_;
+  uint64_t key_ = 0;  ///< Scrambled seed; 0 only for the no-fault plan.
+};
+
+}  // namespace juggler::minispark
+
+#endif  // JUGGLER_MINISPARK_FAULTS_H_

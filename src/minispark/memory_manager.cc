@@ -86,6 +86,17 @@ void UnifiedMemoryManager::DropBlock(BlockId id) {
   index_.erase(it);
 }
 
+std::vector<BlockId> UnifiedMemoryManager::LoseAllBlocks() {
+  std::vector<BlockId> lost;
+  lost.reserve(lru_.size());
+  for (const Block& block : lru_) lost.push_back(block.id);
+  blocks_lost_ += static_cast<int64_t>(lru_.size());
+  lru_.clear();
+  index_.clear();
+  storage_used_ = 0.0;
+  return lost;
+}
+
 int UnifiedMemoryManager::NumBlocksOf(DatasetId dataset) const {
   int n = 0;
   for (const auto& [id, _] : index_) {

@@ -56,6 +56,14 @@ class UnifiedMemoryManager {
   /// Drops a single block if present (block-wise unpersist).
   void DropBlock(BlockId id);
 
+  /// Executor loss: every cached block vanishes at once. Returns the ids of
+  /// the lost blocks so the engine can schedule lineage recomputation.
+  /// Lost blocks are counted separately from evictions (`blocks_lost()`,
+  /// never `blocks_evicted()`/`evicted_blocks()`): an eviction is a planned
+  /// memory-pressure displacement the cache schedule should answer for; a
+  /// loss is a failure the recovery layer answers for.
+  std::vector<BlockId> LoseAllBlocks();
+
   double unified_bytes() const { return unified_; }
   double min_storage_bytes() const { return min_storage_; }
   double storage_used() const { return storage_used_; }
@@ -66,6 +74,7 @@ class UnifiedMemoryManager {
 
   int64_t blocks_stored() const { return blocks_stored_; }
   int64_t blocks_evicted() const { return blocks_evicted_; }
+  int64_t blocks_lost() const { return blocks_lost_; }
   int64_t store_rejections() const { return store_rejections_; }
   int num_blocks() const { return static_cast<int>(index_.size()); }
 
@@ -99,6 +108,7 @@ class UnifiedMemoryManager {
 
   int64_t blocks_stored_ = 0;
   int64_t blocks_evicted_ = 0;
+  int64_t blocks_lost_ = 0;
   int64_t store_rejections_ = 0;
   std::vector<BlockId> evicted_blocks_;
 };

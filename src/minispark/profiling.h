@@ -35,6 +35,13 @@ struct TransformRecord {
 };
 
 /// \brief Task-level runtime data (Spark exposes these natively [5]).
+///
+/// Failed attempts and speculative duplicates get their own records (as in
+/// the Spark UI): `attempt` numbers retries from 0, `speculative` marks the
+/// duplicate copy launched against a straggler, and `failed` marks attempts
+/// that died partway. The successful record of a task is the one with
+/// `!failed && !speculative` — consumers fitting time models should filter
+/// on that, matching what Spark's listener reports as the winning attempt.
 struct TaskRecord {
   int job = 0;
   int stage = 0;
@@ -42,6 +49,9 @@ struct TaskRecord {
   int machine = 0;
   double start_ms = 0.0;
   double finish_ms = 0.0;
+  int attempt = 0;
+  bool speculative = false;
+  bool failed = false;
 };
 
 /// \brief Stage-level runtime data.

@@ -2,6 +2,7 @@
 #define JUGGLER_MINISPARK_TYPES_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace juggler::minispark {
@@ -11,6 +12,22 @@ namespace juggler::minispark {
 using DatasetId = int;
 
 constexpr DatasetId kInvalidDataset = -1;
+
+/// \brief Names one task occurrence within a run: the coordinates the fault
+/// plan keys its decisions on, and the identity an aborted run reports back
+/// ("task job=2 stage=5 task=17 exhausted its attempts").
+struct TaskCoord {
+  int job = 0;
+  int stage = 0;  ///< Stage index, unique across the whole run.
+  int task = 0;   ///< == partition index of the stage's terminal dataset.
+
+  std::string ToString() const {
+    return "job=" + std::to_string(job) + " stage=" + std::to_string(stage) +
+           " task=" + std::to_string(task);
+  }
+
+  friend auto operator<=>(const TaskCoord&, const TaskCoord&) = default;
+};
 
 /// \brief User-selected application parameters (the paper's P1/P2 plus the
 /// iteration count discussed in §6.1).

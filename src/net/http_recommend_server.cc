@@ -27,6 +27,8 @@ const char* CodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kResourceExhausted:
       return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
     case StatusCode::kInternal:
       return "INTERNAL";
   }
@@ -337,7 +339,8 @@ HttpResponse HttpRecommendServer::HandleReload() {
   stats.Set("scanned", Json::Number(static_cast<double>(refresh.scanned)))
       .Set("parsed", Json::Number(static_cast<double>(refresh.parsed)))
       .Set("reused", Json::Number(static_cast<double>(refresh.reused)))
-      .Set("removed", Json::Number(static_cast<double>(refresh.removed)));
+      .Set("removed", Json::Number(static_cast<double>(refresh.removed)))
+      .Set("failed", Json::Number(static_cast<double>(refresh.failed)));
   Json out = Json::Obj();
   out.Set("version", Json::Number(static_cast<double>(registry_->version())))
       .Set("models", Json::Number(static_cast<double>(registry_->size())))
@@ -392,6 +395,10 @@ std::string HttpRecommendServer::MetricsText() const {
                "Requests shed because the evaluation queue was full.");
   AppendSample(&out, "juggler_requests_rejected_total", "", "",
                static_cast<double>(stats.rejected));
+  AppendHeader(&out, "juggler_requests_deadline_shed_total", "counter",
+               "Requests shed because they overstayed the queue deadline.");
+  AppendSample(&out, "juggler_requests_deadline_shed_total", "", "",
+               static_cast<double>(stats.deadline_shed));
 
   AppendHeader(&out, "juggler_prediction_cache_hits_total", "counter",
                "Prediction cache hits (all applications).");
@@ -418,6 +425,13 @@ std::string HttpRecommendServer::MetricsText() const {
                "Models registered for serving.");
   AppendSample(&out, "juggler_registry_models", "", "",
                static_cast<double>(registry_->size()));
+  AppendHeader(&out, "juggler_model_refresh_errors_total", "counter",
+               "Artifacts that failed to load during a registry refresh, by "
+               "application (last-good model kept serving).");
+  for (const auto& [app, count] : registry_->refresh_errors()) {
+    AppendSample(&out, "juggler_model_refresh_errors_total", app, "",
+                 static_cast<double>(count));
+  }
 
   AppendHeader(&out, "juggler_http_connections_accepted_total", "counter",
                "TCP connections accepted.");

@@ -111,7 +111,10 @@ HttpServer::Stats HttpServer::GetStats() const {
 void HttpServer::WakeLoop() {
   const char byte = 'w';
   // EAGAIN means the pipe already holds a pending wake-up; that is enough.
-  (void)!::write(wake_write_fd_, &byte, 1);
+  ssize_t n;
+  do {
+    n = ::write(wake_write_fd_, &byte, 1);
+  } while (n < 0 && errno == EINTR);
 }
 
 void HttpServer::LoopMain() {
@@ -123,8 +126,10 @@ void HttpServer::LoopMain() {
     for (const Poller::Event& event : events) {
       if (event.fd == wake_read_fd_) {
         char drain[64];
-        while (::read(wake_read_fd_, drain, sizeof(drain)) > 0) {
-        }
+        ssize_t n;
+        do {
+          n = ::read(wake_read_fd_, drain, sizeof(drain));
+        } while (n > 0 || (n < 0 && errno == EINTR));
         continue;
       }
       if (event.fd == listen_fd_) {

@@ -40,12 +40,41 @@ Status ModelRegistry::Refresh() {
 
   RefreshStats refresh;
   refresh.scanned = paths.size();
+  // Apps whose artifact failed this scan; folded into refresh_errors_ under
+  // the lock at the end.
+  std::vector<std::string> failed_apps;
+  // A broken artifact keeps the last-good model serving (if there ever was
+  // one) and never fails the whole refresh. Either way the broken file's
+  // *new* fingerprint is recorded (a null-model placeholder if it never
+  // parsed) so it is not re-parsed — and not re-counted — every scan;
+  // fixing the file changes the fingerprint and triggers a real parse.
+  const auto degrade = [&](const fs::path& path, Artifact artifact,
+                           auto* next_snapshot) {
+    ++refresh.failed;
+    const auto old_it = previous->artifacts.find(path.string());
+    if (old_it != previous->artifacts.end() &&
+        old_it->second.model != nullptr) {
+      failed_apps.push_back(old_it->second.app);
+      artifact.app = old_it->second.app;
+      artifact.model = old_it->second.model;
+      if (!next_snapshot->models.emplace(artifact.app, artifact.model)
+               .second) {
+        artifact.model = nullptr;  // Another artifact claimed the app.
+      }
+    } else {
+      failed_apps.push_back(path.stem().string());
+    }
+    next_snapshot->artifacts.emplace(path.string(), std::move(artifact));
+  };
   for (const fs::path& path : paths) {
     const auto mtime = fs::last_write_time(path, ec);
     const uintmax_t size = fs::file_size(path, ec);
     if (ec) {
-      return Status::NotFound("cannot stat model artifact " + path.string() +
-                              ": " + ec.message());
+      // Likely deleted between the directory listing and the stat; treat
+      // like any other broken artifact rather than poisoning the refresh.
+      ec.clear();
+      degrade(path, Artifact{}, next.get());
+      continue;
     }
     Artifact artifact;
     artifact.mtime_ns = static_cast<int64_t>(
@@ -60,18 +89,25 @@ Status ModelRegistry::Refresh() {
     if (old_it != previous->artifacts.end() &&
         old_it->second.mtime_ns == artifact.mtime_ns &&
         old_it->second.file_size == artifact.file_size) {
+      if (old_it->second.model == nullptr) {
+        // A remembered never-parsed failure, file untouched: carry the
+        // placeholder, nothing to serve and nothing new to report.
+        next->artifacts.emplace(path.string(), std::move(artifact));
+        continue;
+      }
       artifact.app = old_it->second.app;
       artifact.model = old_it->second.model;
       ++refresh.reused;
     } else {
       std::ifstream in(path);
       if (!in) {
-        return Status::NotFound("cannot read model artifact " + path.string());
+        degrade(path, std::move(artifact), next.get());
+        continue;
       }
       auto trained = core::LoadTrainedJuggler(in);
       if (!trained.ok()) {
-        return Status(trained.status().code(),
-                      path.string() + ": " + trained.status().message());
+        degrade(path, std::move(artifact), next.get());
+        continue;
       }
       artifact.app = trained->app_name();
       artifact.model = std::make_shared<const core::TrainedJuggler>(
@@ -87,6 +123,9 @@ Status ModelRegistry::Refresh() {
     next->artifacts.emplace(path.string(), std::move(artifact));
   }
   for (const auto& [path, artifact] : previous->artifacts) {
+    // Placeholders never served anything; their disappearance is not a
+    // change worth a version bump.
+    if (artifact.model == nullptr) continue;
     if (next->artifacts.find(path) == next->artifacts.end()) ++refresh.removed;
   }
 
@@ -94,11 +133,24 @@ Status ModelRegistry::Refresh() {
   if (refresh.Changed() || snapshot_->version == 0) {
     next->version = snapshot_->version + 1;
     snapshot_ = std::move(next);
+  } else if (refresh.failed > 0) {
+    // No model changed (the carried-over artifacts alias the published
+    // models), but the broken files' new fingerprints must be remembered or
+    // every future scan would re-parse them. Same version: version-keyed
+    // caches stay warm because the models are the same objects.
+    next->version = snapshot_->version;
+    snapshot_ = std::move(next);
   }
   // else: a no-op scan — keep the published snapshot (and its version) so
   // version-keyed caches stay warm.
   last_refresh_ = refresh;
+  for (const std::string& app : failed_apps) ++refresh_errors_[app];
   return Status::OK();
+}
+
+std::map<std::string, uint64_t> ModelRegistry::refresh_errors() const {
+  MutexLock lock(mu_);
+  return refresh_errors_;
 }
 
 ModelRegistry::RefreshStats ModelRegistry::last_refresh() const {

@@ -21,10 +21,17 @@ namespace juggler::service {
 /// online path (§5.5) looks models up by application name. Reload semantics:
 ///
 ///  - `Refresh()` re-scans the directory, parses every artifact into a brand
-///    new immutable snapshot, and swaps it in atomically. It is
-///    all-or-nothing: if any artifact is malformed the old snapshot stays
-///    active and the error (InvalidArgument/NotFound from the serialization
-///    layer, tagged with the file name) is returned.
+///    new immutable snapshot, and swaps it in atomically.
+///  - Refresh degrades gracefully: a malformed (or unreadable) artifact never
+///    poisons the snapshot. If the file previously parsed, its last-good
+///    model keeps serving under the *new* fingerprint (no re-parse churn
+///    while the file stays broken; fixing the file changes the fingerprint
+///    and triggers a re-parse). If it never parsed, it is skipped. Either
+///    way `Refresh()` still returns OK, the failure is counted in
+///    `RefreshStats::failed`, and the per-app cumulative counter behind
+///    `refresh_errors()` is bumped. Only structural problems fail the
+///    refresh: a missing directory (NotFound) or two artifacts claiming the
+///    same app (InvalidArgument).
 ///  - Readers are never blocked by a reload and never see a half-updated
 ///    registry: `Lookup()` grabs a `shared_ptr` to the current snapshot, so
 ///    in-flight requests keep using the model they resolved even while a
@@ -56,11 +63,18 @@ class ModelRegistry {
     size_t parsed = 0;   ///< Files read + deserialized (new or changed).
     size_t reused = 0;   ///< Models carried over without touching the file.
     size_t removed = 0;  ///< Artifacts that disappeared from the directory.
+    /// Artifacts that failed to read/parse this scan (last-good model kept).
+    size_t failed = 0;
 
     bool Changed() const { return parsed > 0 || removed > 0; }
   };
 
   RefreshStats last_refresh() const EXCLUDES(mu_);
+
+  /// Cumulative refresh failures per application since construction, for the
+  /// `/metrics` endpoint. Keyed by the app the artifact last served (or the
+  /// artifact's file stem if it never parsed).
+  std::map<std::string, uint64_t> refresh_errors() const EXCLUDES(mu_);
 
   /// Returns the model for `app`, or NotFound (message lists known apps) if
   /// no artifact declared that name.
@@ -114,6 +128,7 @@ class ModelRegistry {
   mutable Mutex mu_;  ///< Guards the snapshot pointer swap + refresh stats.
   std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
   RefreshStats last_refresh_ GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> refresh_errors_ GUARDED_BY(mu_);
 };
 
 }  // namespace juggler::service

@@ -15,6 +15,13 @@ double ElapsedUs(Clock::time_point start) {
       .count();
 }
 
+Status DeadlineExceeded(double waited_ms, double deadline_ms) {
+  return Status::ResourceExhausted(
+      "request spent " + std::to_string(waited_ms) +
+      " ms in the evaluation queue (deadline " + std::to_string(deadline_ms) +
+      " ms); shedding");
+}
+
 }  // namespace
 
 RecommendationService::RecommendationService(
@@ -95,9 +102,19 @@ StatusOr<RecommendResponse> RecommendationService::Recommend(
   auto promise =
       std::make_shared<std::promise<StatusOr<RecommendResponse>>>();
   auto future = promise->get_future();
+  const auto enqueued = Clock::now();
   Status submitted = pool_->Submit(
-      [this, start, resolved = std::move(resolved).value(), request, key,
-       promise, app = &app] {
+      [this, start, enqueued, resolved = std::move(resolved).value(), request,
+       key, promise, app = &app] {
+        // Shed before evaluating: the client has likely timed out already.
+        const double waited_ms = ElapsedUs(enqueued) / 1000.0;
+        if (options_.queue_deadline_ms > 0.0 &&
+            waited_ms > options_.queue_deadline_ms) {
+          deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+          promise->set_value(
+              DeadlineExceeded(waited_ms, options_.queue_deadline_ms));
+          return;
+        }
         if (options_.pre_eval_hook) options_.pre_eval_hook();
         auto result = EvaluateNow(resolved, request, key, *app);
         const double elapsed = ElapsedUs(start);
@@ -140,10 +157,19 @@ std::future<StatusOr<RecommendResponse>> RecommendationService::RecommendAsync(
     return future;
   }
   app.cache_misses.fetch_add(1, std::memory_order_relaxed);
+  const auto enqueued = Clock::now();
   Status submitted = pool_->Submit(
-      [this, start, resolved = std::move(resolved).value(),
+      [this, start, enqueued, resolved = std::move(resolved).value(),
        request = std::move(request), key = std::move(key), promise,
        app = &app] {
+        const double waited_ms = ElapsedUs(enqueued) / 1000.0;
+        if (options_.queue_deadline_ms > 0.0 &&
+            waited_ms > options_.queue_deadline_ms) {
+          deadline_shed_.fetch_add(1, std::memory_order_relaxed);
+          promise->set_value(
+              DeadlineExceeded(waited_ms, options_.queue_deadline_ms));
+          return;
+        }
         if (options_.pre_eval_hook) options_.pre_eval_hook();
         if (auto cached = cache_->Get(key)) {
           const double elapsed = ElapsedUs(start);
@@ -221,6 +247,7 @@ RecommendationService::Stats RecommendationService::GetStats() const {
   stats.latency = latency_.GetSnapshot();
   stats.evaluations = evaluations_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.deadline_shed = deadline_shed_.load(std::memory_order_relaxed);
   MutexLock lock(apps_mu_);
   for (const auto& [name, counters] : app_counters_) {
     AppStats& app = stats.per_app[name];

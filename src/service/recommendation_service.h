@@ -56,6 +56,11 @@ class RecommendationService {
   struct Options {
     int num_workers = 4;
     size_t queue_capacity = 1024;
+    /// Requests that waited in the evaluation queue longer than this are
+    /// shed with ResourceExhausted (HTTP 503 + Retry-After) instead of being
+    /// evaluated: under sustained overload, answering a request the client
+    /// has likely already timed out on just wastes a worker. 0 disables.
+    double queue_deadline_ms = 0.0;
     PredictionCache::Options cache;
     /// Test/instrumentation hook run by a worker immediately before each
     /// model evaluation (nullptr to disable).
@@ -79,6 +84,9 @@ class RecommendationService {
     LatencyHistogram::Snapshot latency;
     uint64_t evaluations = 0;  ///< Model evaluations actually run on workers.
     uint64_t rejected = 0;     ///< Requests shed due to a full queue.
+    /// Requests shed because they overstayed Options::queue_deadline_ms in
+    /// the evaluation queue.
+    uint64_t deadline_shed = 0;
     /// Per-app breakdown, keyed by application name. Only apps that have
     /// been asked about appear (unknown names are rejected before counting,
     /// so label cardinality stays bounded by the registry).
@@ -158,6 +166,7 @@ class RecommendationService {
   LatencyHistogram latency_;
   std::atomic<uint64_t> evaluations_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> deadline_shed_{0};
   mutable Mutex apps_mu_;
   /// unique_ptr nodes: map rehash/rebalance never moves an AppCounters.
   std::map<std::string, std::unique_ptr<AppCounters>> app_counters_

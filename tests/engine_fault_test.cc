@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/units.h"
+#include "minispark/engine.h"
+
+namespace juggler::minispark {
+namespace {
+
+RunOptions Calm() {
+  RunOptions o;
+  o.noise_sigma = 0.0;
+  o.straggler_prob = 0.0;
+  return o;
+}
+
+/// Iterative app with a cacheable hot dataset (as in engine_test).
+Application IterativeApp(int iters, double hot_bytes = MiB(400)) {
+  DagBuilder b("iterative");
+  const DatasetId src = b.AddSource("src", MiB(256), 64);
+  const DatasetId hot = b.AddNarrow("hot", {src}, hot_bytes, 8000.0);
+  for (int i = 0; i < iters; ++i) {
+    const DatasetId m = b.AddNarrow("m" + std::to_string(i), {hot}, MiB(1), 100.0);
+    const DatasetId a = b.AddWide("a" + std::to_string(i), {m}, 1024, 1.0, 1);
+    b.AddJob("iter" + std::to_string(i), a, 1024);
+  }
+  return std::move(b).Build();
+}
+
+ClusterConfig SmallCluster(int machines, double heap = GiB(2)) {
+  ClusterConfig c = PaperCluster(machines);
+  c.executor_memory_bytes = heap;
+  return c;
+}
+
+/// Byte-identical equality over everything a RunResult reports, including
+/// the recovery counters and the per-dataset stats — the determinism
+/// contract is "identical", not "close".
+void ExpectIdenticalResults(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.app_name, b.app_name);
+  EXPECT_EQ(a.machines, b.machines);
+  EXPECT_EQ(a.duration_ms, b.duration_ms);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+  EXPECT_EQ(a.cache_recomputes, b.cache_recomputes);
+  EXPECT_EQ(a.blocks_evicted, b.blocks_evicted);
+  EXPECT_EQ(a.store_rejections, b.store_rejections);
+  EXPECT_EQ(a.peak_execution_bytes, b.peak_execution_bytes);
+  EXPECT_EQ(a.tasks_retried, b.tasks_retried);
+  EXPECT_EQ(a.stages_reexecuted, b.stages_reexecuted);
+  EXPECT_EQ(a.executors_lost, b.executors_lost);
+  EXPECT_EQ(a.partitions_lost, b.partitions_lost);
+  EXPECT_EQ(a.partitions_recomputed_after_loss,
+            b.partitions_recomputed_after_loss);
+  EXPECT_EQ(a.speculative_launched, b.speculative_launched);
+  EXPECT_EQ(a.speculative_wins, b.speculative_wins);
+  ASSERT_EQ(a.dataset_stats.size(), b.dataset_stats.size());
+  for (const auto& [id, sa] : a.dataset_stats) {
+    ASSERT_EQ(b.dataset_stats.count(id), 1u);
+    const auto& sb = b.dataset_stats.at(id);
+    EXPECT_EQ(sa.hits, sb.hits);
+    EXPECT_EQ(sa.recomputes, sb.recomputes);
+    EXPECT_EQ(sa.stored, sb.stored);
+    EXPECT_EQ(sa.distinct_cached, sb.distinct_cached);
+    EXPECT_EQ(sa.distinct_evicted, sb.distinct_evicted);
+    EXPECT_EQ(sa.lost, sb.lost);
+    EXPECT_EQ(sa.recomputed_after_loss, sb.recomputed_after_loss);
+  }
+}
+
+TEST(EngineFaultTest, NoFaultSpecLeavesCountersZero) {
+  Engine engine(Calm());
+  auto r = engine.Run(IterativeApp(3), SmallCluster(2), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->tasks_retried, 0);
+  EXPECT_EQ(r->stages_reexecuted, 0);
+  EXPECT_EQ(r->executors_lost, 0);
+  EXPECT_EQ(r->partitions_lost, 0);
+  EXPECT_EQ(r->partitions_recomputed_after_loss, 0);
+  EXPECT_EQ(r->speculative_launched, 0);
+  EXPECT_EQ(r->speculative_wins, 0);
+}
+
+TEST(EngineFaultTest, TaskFailuresAreRetriedAndCostTime) {
+  RunOptions faulty = Calm();
+  faulty.faults.task_failure_prob = 0.2;
+  // Generous retry budget: this test wants retries, not exhaustion (at the
+  // default 4 attempts, p=0.2 exhausts some task with noticeable odds).
+  faulty.faults.max_task_attempts = 10;
+  faulty.faults.seed = 11;
+  const Application app = IterativeApp(4);
+  auto clean = Engine(Calm()).Run(app, SmallCluster(2), CachePlan{});
+  auto r = Engine(faulty).Run(app, SmallCluster(2), CachePlan{});
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->tasks_retried, 0);
+  EXPECT_GT(r->duration_ms, clean->duration_ms);
+  // Retries never change what the run computes, only how long it takes.
+  EXPECT_EQ(r->cache_hits, clean->cache_hits);
+  EXPECT_EQ(r->cache_recomputes, clean->cache_recomputes);
+}
+
+TEST(EngineFaultTest, ExhaustedTaskAbortsWithTypedErrorNamingTheTask) {
+  RunOptions faulty = Calm();
+  faulty.faults.task_failure_prob = 1.0;  // Every attempt fails.
+  auto r = Engine(faulty).Run(IterativeApp(2), SmallCluster(2), CachePlan{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  const std::string& message = r.status().message();
+  EXPECT_NE(message.find("task"), std::string::npos) << message;
+  EXPECT_NE(message.find("stage"), std::string::npos) << message;
+  EXPECT_NE(message.find("4 attempts"), std::string::npos) << message;
+}
+
+TEST(EngineFaultTest, MaxTaskAttemptsBoundsTheRetries) {
+  RunOptions faulty = Calm();
+  faulty.faults.task_failure_prob = 1.0;
+  faulty.faults.max_task_attempts = 1;  // No retries at all.
+  auto r = Engine(faulty).Run(IterativeApp(1), SmallCluster(1), CachePlan{});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  EXPECT_NE(r.status().message().find("1 attempts"), std::string::npos)
+      << r.status().message();
+}
+
+TEST(EngineFaultTest, ExecutorLossDropsBlocksAndLineageRecomputesThem) {
+  RunOptions faulty = Calm();
+  faulty.faults.executor_loss_prob = 0.06;
+  faulty.faults.seed = 3;
+  // Plenty of memory: nothing is ever *evicted*, so every recompute below is
+  // failure-driven — the lost/evicted distinction the MemoryManager keeps.
+  const Application app = IterativeApp(10);
+  const CachePlan plan{{CacheOp::Persist(1)}};
+  auto clean = Engine(Calm()).Run(app, SmallCluster(4, GiB(8)), plan);
+  auto r = Engine(faulty).Run(app, SmallCluster(4, GiB(8)), plan);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(clean->cache_recomputes, 0);
+  EXPECT_GT(r->executors_lost, 0);
+  EXPECT_GT(r->partitions_lost, 0);
+  EXPECT_GT(r->partitions_recomputed_after_loss, 0);
+  EXPECT_LE(r->partitions_recomputed_after_loss, r->cache_recomputes);
+  EXPECT_EQ(r->blocks_evicted, 0) << "losses must not count as evictions";
+  const auto& hot = r->dataset_stats.at(1);
+  EXPECT_GT(hot.lost, 0);
+  EXPECT_GT(hot.recomputed_after_loss, 0);
+  EXPECT_GT(r->duration_ms, clean->duration_ms);
+}
+
+TEST(EngineFaultTest, LostShuffleOutputReexecutesTheParentStage) {
+  RunOptions faulty = Calm();
+  faulty.faults.executor_loss_prob = 0.10;
+  faulty.faults.seed = 5;
+  // Every job has a wide stage whose parent's map outputs can be lost.
+  const Application app = IterativeApp(12);
+  auto r = Engine(faulty).Run(app, SmallCluster(4), CachePlan{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_GT(r->executors_lost, 0);
+  EXPECT_GT(r->stages_reexecuted, 0);
+}
+
+TEST(EngineFaultTest, SpeculationRacesPlannedStragglers) {
+  RunOptions slow = Calm();
+  slow.faults.straggler_prob = 0.2;
+  slow.faults.straggler_factor = 8.0;
+  slow.faults.speculation = false;
+  slow.faults.seed = 9;
+  RunOptions raced = slow;
+  raced.faults.speculation = true;
+  const Application app = IterativeApp(4);
+  auto without = Engine(slow).Run(app, SmallCluster(4), CachePlan{});
+  auto with = Engine(raced).Run(app, SmallCluster(4), CachePlan{});
+  ASSERT_TRUE(without.ok());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(without->speculative_launched, 0);
+  EXPECT_GT(with->speculative_launched, 0);
+  EXPECT_GT(with->speculative_wins, 0);
+  EXPECT_LT(with->duration_ms, without->duration_ms);
+}
+
+TEST(EngineFaultTest, SpeculationNeedsASecondMachine) {
+  RunOptions o = Calm();
+  o.faults.straggler_prob = 0.3;
+  o.faults.straggler_factor = 8.0;
+  auto r = Engine(o).Run(IterativeApp(3), SmallCluster(1), CachePlan{});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->speculative_launched, 0);
+}
+
+TEST(EngineFaultTest, DeterminismSameSeedIdenticalRunResult) {
+  RunOptions o = Calm();
+  o.faults.task_failure_prob = 0.15;
+  o.faults.executor_loss_prob = 0.05;
+  o.faults.straggler_prob = 0.15;
+  o.faults.straggler_factor = 4.0;
+  o.faults.seed = 21;
+  const Application app = IterativeApp(8);
+  const CachePlan plan{{CacheOp::Persist(1)}};
+  auto first = Engine(o).Run(app, SmallCluster(3), plan);
+  auto second = Engine(o).Run(app, SmallCluster(3), plan);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok());
+  ExpectIdenticalResults(*first, *second);
+  // The schedule really fired (this is not a vacuous comparison).
+  EXPECT_GT(first->tasks_retried + first->executors_lost +
+                first->speculative_launched,
+            0);
+}
+
+TEST(EngineFaultTest, SeedPlusOneChangesTheRun) {
+  RunOptions o = Calm();
+  o.faults.task_failure_prob = 0.15;
+  o.faults.executor_loss_prob = 0.05;
+  o.faults.straggler_prob = 0.15;
+  o.faults.max_task_attempts = 10;  // Both seeds must complete, not abort.
+  o.faults.seed = 21;
+  RunOptions o2 = o;
+  o2.faults.seed = 22;
+  const Application app = IterativeApp(8);
+  auto a = Engine(o).Run(app, SmallCluster(3), CachePlan{});
+  auto b = Engine(o2).Run(app, SmallCluster(3), CachePlan{});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->duration_ms, b->duration_ms);
+}
+
+TEST(EngineFaultTest, FaultSpecIsValidated) {
+  RunOptions o = Calm();
+  o.faults.task_failure_prob = 2.0;
+  auto r = Engine(o).Run(IterativeApp(1), SmallCluster(1), CachePlan{});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(EngineFaultTest, ProfileRecordsFailedAndSpeculativeAttempts) {
+  RunOptions o = Calm();
+  o.instrument = true;
+  o.faults.task_failure_prob = 0.25;
+  o.faults.straggler_prob = 0.2;
+  o.faults.straggler_factor = 8.0;
+  o.faults.seed = 13;
+  auto r = Engine(o).Run(IterativeApp(4), SmallCluster(4), CachePlan{});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_NE(r->profile, nullptr);
+  int failed = 0, speculative = 0, winners = 0;
+  for (const auto& task : r->profile->tasks()) {
+    if (task.failed) ++failed;
+    if (task.speculative) ++speculative;
+    if (!task.failed && !task.speculative) ++winners;
+  }
+  EXPECT_EQ(failed, static_cast<int>(r->tasks_retried + r->speculative_wins +
+                                     (r->speculative_launched -
+                                      r->speculative_wins)));
+  EXPECT_EQ(speculative, static_cast<int>(r->speculative_launched));
+  EXPECT_GT(failed, 0);
+  EXPECT_GT(winners, 0);
+}
+
+TEST(EngineFaultTest, RelaunchDelaySlowsLossyRuns) {
+  RunOptions faulty = Calm();
+  faulty.faults.executor_loss_prob = 0.08;
+  faulty.faults.seed = 17;
+  const Application app = IterativeApp(8);
+  ClusterConfig slow_relaunch = SmallCluster(3);
+  slow_relaunch.executor_relaunch_ms = 20000.0;
+  ClusterConfig fast_relaunch = SmallCluster(3);
+  fast_relaunch.executor_relaunch_ms = 0.0;
+  auto slow = Engine(faulty).Run(app, slow_relaunch, CachePlan{});
+  auto fast = Engine(faulty).Run(app, fast_relaunch, CachePlan{});
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  ASSERT_GT(slow->executors_lost, 0);
+  EXPECT_GT(slow->duration_ms, fast->duration_ms);
+}
+
+}  // namespace
+}  // namespace juggler::minispark

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "minispark/engine.h"
+#include "workloads/workloads.h"
+
+namespace juggler::minispark {
+namespace {
+
+/// The chaos matrix: workloads x fault kinds x seeds. Every cell must
+/// satisfy the recovery invariant — either the run completes with correct,
+/// internally consistent metrics, or it returns a typed kAborted naming the
+/// exhausted task. No silent wrong answers, no hangs. And every cell must be
+/// deterministic: the same seed replays to an identical RunResult.
+
+struct FaultKind {
+  const char* name;
+  FaultSpec spec;
+};
+
+std::vector<FaultKind> FaultKinds() {
+  FaultSpec task_fail;
+  task_fail.task_failure_prob = 0.15;
+  FaultSpec executor_loss;
+  executor_loss.executor_loss_prob = 0.08;
+  FaultSpec straggler;
+  straggler.straggler_prob = 0.2;
+  straggler.straggler_factor = 6.0;
+  FaultSpec everything;
+  everything.task_failure_prob = 0.1;
+  everything.executor_loss_prob = 0.05;
+  everything.straggler_prob = 0.1;
+  everything.straggler_factor = 4.0;
+  return {{"task-fail", task_fail},
+          {"executor-loss", executor_loss},
+          {"straggler", straggler},
+          {"everything", everything}};
+}
+
+/// Small paper workloads: heterogeneous DAG shapes (uncached re-reads,
+/// developer caches, many short jobs) at parameters that run in
+/// milliseconds.
+std::vector<std::string> WorkloadNames() { return {"lir", "lor", "pca"}; }
+
+/// Consistency checks a completed faulty run must satisfy.
+void ExpectSaneMetrics(const RunResult& r, const FaultSpec& spec) {
+  EXPECT_GT(r.duration_ms, 0.0);
+  EXPECT_GE(r.tasks_retried, 0);
+  EXPECT_GE(r.stages_reexecuted, 0);
+  EXPECT_GE(r.executors_lost, 0);
+  EXPECT_GE(r.partitions_lost, 0);
+  EXPECT_LE(r.partitions_recomputed_after_loss, r.cache_recomputes);
+  EXPECT_LE(r.speculative_wins, r.speculative_launched);
+  if (spec.task_failure_prob == 0.0) {
+    EXPECT_EQ(r.tasks_retried, 0);
+  }
+  if (spec.executor_loss_prob == 0.0) {
+    EXPECT_EQ(r.executors_lost, 0);
+    EXPECT_EQ(r.partitions_lost, 0);
+    EXPECT_EQ(r.stages_reexecuted, 0);
+  }
+  int64_t lost = 0, recomputed_after_loss = 0;
+  for (const auto& [id, stats] : r.dataset_stats) {
+    lost += stats.lost;
+    recomputed_after_loss += stats.recomputed_after_loss;
+  }
+  EXPECT_EQ(lost, r.partitions_lost);
+  EXPECT_EQ(recomputed_after_loss, r.partitions_recomputed_after_loss);
+}
+
+TEST(FaultMatrixTest, EveryCellCompletesCorrectlyOrAbortsTyped) {
+  for (const std::string& name : WorkloadNames()) {
+    const auto workload = workloads::GetWorkload(name);
+    ASSERT_TRUE(workload.ok()) << name;
+    const AppParams params{4000, 1000, 3};
+    const Application app = workload->make(params);
+    for (const FaultKind& kind : FaultKinds()) {
+      for (uint64_t seed : {101u, 202u, 303u}) {
+        RunOptions options;
+        options.noise_sigma = 0.0;
+        options.straggler_prob = 0.0;
+        options.faults = kind.spec;
+        options.faults.seed = seed;
+        const std::string cell = name + "/" + kind.name + "/seed=" +
+                                 std::to_string(seed);
+
+        Engine engine(options);
+        const ClusterConfig cluster = PaperCluster(3);
+        auto first = engine.RunDefault(app, cluster);
+        auto second = engine.RunDefault(app, cluster);
+
+        // Invariant half 1: typed completion. OK with sane metrics, or
+        // kAborted naming the task — nothing else.
+        ASSERT_EQ(first.ok(), second.ok()) << cell;
+        if (!first.ok()) {
+          EXPECT_EQ(first.status().code(), StatusCode::kAborted) << cell;
+          EXPECT_NE(first.status().message().find("task"), std::string::npos)
+              << cell << ": " << first.status().message();
+          EXPECT_EQ(first.status().message(), second.status().message())
+              << cell;
+          continue;
+        }
+        ExpectSaneMetrics(*first, options.faults);
+
+        // Invariant half 2: determinism. Identical seed, identical result.
+        EXPECT_EQ(first->duration_ms, second->duration_ms) << cell;
+        EXPECT_EQ(first->cache_hits, second->cache_hits) << cell;
+        EXPECT_EQ(first->cache_recomputes, second->cache_recomputes) << cell;
+        EXPECT_EQ(first->tasks_retried, second->tasks_retried) << cell;
+        EXPECT_EQ(first->stages_reexecuted, second->stages_reexecuted) << cell;
+        EXPECT_EQ(first->executors_lost, second->executors_lost) << cell;
+        EXPECT_EQ(first->partitions_lost, second->partitions_lost) << cell;
+        EXPECT_EQ(first->partitions_recomputed_after_loss,
+                  second->partitions_recomputed_after_loss)
+            << cell;
+        EXPECT_EQ(first->speculative_launched, second->speculative_launched)
+            << cell;
+        EXPECT_EQ(first->speculative_wins, second->speculative_wins) << cell;
+      }
+    }
+  }
+}
+
+TEST(FaultMatrixTest, FaultsNeverChangeWhatWasComputedOnlyHowLong) {
+  // A faulty run that completes must report the same cache/dataset footprint
+  // as the clean run: recovery recomputes through the lineage, it never
+  // skips or invents work. (Executor loss is excluded here: lost blocks
+  // legitimately change hit counts; that path is covered by the
+  // loss-specific assertions above.)
+  for (const std::string& name : WorkloadNames()) {
+    const auto workload = workloads::GetWorkload(name);
+    ASSERT_TRUE(workload.ok()) << name;
+    const Application app = workload->make(AppParams{4000, 1000, 3});
+    RunOptions clean;
+    clean.noise_sigma = 0.0;
+    clean.straggler_prob = 0.0;
+    RunOptions faulty = clean;
+    faulty.faults.task_failure_prob = 0.15;
+    faulty.faults.straggler_prob = 0.2;
+    faulty.faults.straggler_factor = 6.0;
+    faulty.faults.seed = 404;
+    const ClusterConfig cluster = PaperCluster(3);
+    auto base = Engine(clean).RunDefault(app, cluster);
+    auto shaken = Engine(faulty).RunDefault(app, cluster);
+    ASSERT_TRUE(base.ok()) << name;
+    if (!shaken.ok()) {
+      EXPECT_EQ(shaken.status().code(), StatusCode::kAborted) << name;
+      continue;
+    }
+    EXPECT_EQ(shaken->cache_hits, base->cache_hits) << name;
+    EXPECT_EQ(shaken->cache_recomputes, base->cache_recomputes) << name;
+    EXPECT_GE(shaken->duration_ms, base->duration_ms) << name;
+  }
+}
+
+}  // namespace
+}  // namespace juggler::minispark

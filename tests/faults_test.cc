@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "minispark/faults.h"
+
+namespace juggler::minispark {
+namespace {
+
+FaultSpec AllFaults(uint64_t seed = 7) {
+  FaultSpec spec;
+  spec.seed = seed;
+  spec.task_failure_prob = 0.2;
+  spec.executor_loss_prob = 0.1;
+  spec.straggler_prob = 0.15;
+  return spec;
+}
+
+TEST(FaultSpecTest, ValidateAcceptsDefaultsAndSaneSpecs) {
+  EXPECT_TRUE(FaultSpec{}.Validate().ok());
+  EXPECT_TRUE(AllFaults().Validate().ok());
+}
+
+TEST(FaultSpecTest, ValidateRejectsOutOfRangeKnobs) {
+  FaultSpec bad_prob;
+  bad_prob.task_failure_prob = 1.5;
+  EXPECT_EQ(bad_prob.Validate().code(), StatusCode::kInvalidArgument);
+
+  FaultSpec negative;
+  negative.executor_loss_prob = -0.1;
+  EXPECT_FALSE(negative.Validate().ok());
+
+  FaultSpec attempts;
+  attempts.max_task_attempts = 0;
+  EXPECT_FALSE(attempts.Validate().ok());
+
+  FaultSpec factor;
+  factor.straggler_factor = 0.5;
+  EXPECT_FALSE(factor.Validate().ok());
+
+  FaultSpec multiplier;
+  multiplier.speculation_multiplier = 0.9;
+  EXPECT_FALSE(multiplier.Validate().ok());
+}
+
+TEST(FaultPlanTest, DefaultPlanSchedulesNothing) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  for (int t = 0; t < 32; ++t) {
+    EXPECT_FALSE(plan.TaskFails(0, 0, t, 0));
+    EXPECT_FALSE(plan.ExecutorLost(0, 0, t));
+    EXPECT_DOUBLE_EQ(plan.StragglerFactor(0, 0, t), 1.0);
+  }
+}
+
+TEST(FaultPlanTest, SameSpecReplaysByteIdentically) {
+  const FaultPlan a(AllFaults());
+  const FaultPlan b(AllFaults());
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  for (int stage = 0; stage < 8; ++stage) {
+    for (int task = 0; task < 16; ++task) {
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        EXPECT_EQ(a.TaskFails(1, stage, task, attempt),
+                  b.TaskFails(1, stage, task, attempt));
+        EXPECT_DOUBLE_EQ(a.FailureFraction(1, stage, task, attempt),
+                         b.FailureFraction(1, stage, task, attempt));
+      }
+      EXPECT_DOUBLE_EQ(a.StragglerFactor(1, stage, task),
+                       b.StragglerFactor(1, stage, task));
+    }
+    for (int machine = 0; machine < 8; ++machine) {
+      EXPECT_EQ(a.ExecutorLost(1, stage, machine),
+                b.ExecutorLost(1, stage, machine));
+    }
+  }
+}
+
+TEST(FaultPlanTest, QueriesAreOrderIndependent) {
+  // The plan is stateless: asking about a decision twice — or after a pile
+  // of unrelated queries, as recovery reshuffling does — returns the same
+  // answer.
+  const FaultPlan plan(AllFaults());
+  const bool first = plan.TaskFails(0, 3, 5, 1);
+  for (int i = 0; i < 100; ++i) {
+    (void)plan.TaskFails(0, i, i, 0);
+    (void)plan.ExecutorLost(0, i, i % 4);
+    (void)plan.StragglerFactor(0, i, i);
+  }
+  EXPECT_EQ(plan.TaskFails(0, 3, 5, 1), first);
+}
+
+TEST(FaultPlanTest, SeedPlusOneProducesDifferentPlan) {
+  const FaultPlan a(AllFaults(/*seed=*/7));
+  const FaultPlan b(AllFaults(/*seed=*/8));
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  // Some decision in a modest grid actually differs.
+  bool any_difference = false;
+  for (int stage = 0; stage < 16 && !any_difference; ++stage) {
+    for (int task = 0; task < 16 && !any_difference; ++task) {
+      any_difference = a.TaskFails(0, stage, task, 0) !=
+                       b.TaskFails(0, stage, task, 0);
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FaultPlanTest, ProbabilityEndpointsAreExact) {
+  FaultSpec never = AllFaults();
+  never.task_failure_prob = 0.0;
+  never.executor_loss_prob = 0.0;
+  const FaultPlan never_plan(never);
+  FaultSpec always = AllFaults();
+  always.task_failure_prob = 1.0;
+  const FaultPlan always_plan(always);
+  for (int t = 0; t < 64; ++t) {
+    EXPECT_FALSE(never_plan.TaskFails(0, 0, t, 0));
+    EXPECT_FALSE(never_plan.ExecutorLost(0, 0, t % 8));
+    EXPECT_TRUE(always_plan.TaskFails(0, 0, t, 0));
+  }
+}
+
+TEST(FaultPlanTest, FailureFractionIsAUsableWorkFraction) {
+  const FaultPlan plan(AllFaults());
+  for (int t = 0; t < 64; ++t) {
+    const double frac = plan.FailureFraction(0, 1, t, 0);
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+  }
+}
+
+TEST(FaultPlanTest, StragglerFactorIsEitherOneOrTheConfiguredFactor) {
+  FaultSpec spec = AllFaults();
+  spec.straggler_prob = 0.5;
+  spec.straggler_factor = 3.0;
+  const FaultPlan plan(spec);
+  int slow = 0;
+  for (int t = 0; t < 200; ++t) {
+    const double f = plan.StragglerFactor(0, 0, t);
+    EXPECT_TRUE(f == 1.0 || f == 3.0) << f;
+    if (f == 3.0) ++slow;
+  }
+  // ~100 expected; far-from-degenerate bounds keep the test deterministic.
+  EXPECT_GT(slow, 50);
+  EXPECT_LT(slow, 150);
+}
+
+TEST(FaultPlanTest, DescribeMentionsTheKnobs) {
+  const std::string text = FaultPlan(AllFaults()).Describe();
+  EXPECT_NE(text.find("seed"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace juggler::minispark

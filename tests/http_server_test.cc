@@ -93,6 +93,14 @@ class TestClient {
     }
   }
 
+  /// Hard-closes the client side immediately (mid-conversation teardown).
+  void CloseNow() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
   /// True once the server closes the connection (and no buffered bytes
   /// remain).
   bool ReadEof() {
@@ -225,6 +233,44 @@ TEST_P(HttpServerTest, MalformedRequestGets400ThenClose) {
   EXPECT_EQ(StatusOf(response), 400);
   EXPECT_TRUE(client.ReadEof()) << "framing is lost; server must close";
   EXPECT_EQ(server.GetStats().parse_errors, 1u);
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, ClientClosingMidResponseDoesNotKillServer) {
+  // Regression test for SIGPIPE: the client tears the connection down while
+  // the server is still producing/writing the response. The write must fail
+  // with EPIPE (MSG_NOSIGNAL / ignored signal), not deliver a SIGPIPE that
+  // kills the process.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool client_gone = false;
+
+  HttpServer server(BaseOptions(), [&](const HttpRequest&) {
+    // Hold the response until the client side is definitely closed, then
+    // answer with a body too large for one socket buffer so the server
+    // really writes into the dead connection.
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return client_gone; });
+    return HttpResponse::Text(200, std::string(4 << 20, 'x'));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  {
+    TestClient doomed(server.port());
+    doomed.Send(SimpleGet("/big"));
+    doomed.CloseNow();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    client_gone = true;
+  }
+  cv.notify_all();
+
+  // The server survives and keeps answering fresh connections.
+  TestClient follow_up(server.port());
+  follow_up.Send(SimpleGet("/alive"));
+  const std::string response = follow_up.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 200);
   server.Stop();
 }
 

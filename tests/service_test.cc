@@ -143,21 +143,60 @@ TEST(ModelRegistryTest, HotReloadDoesNotInvalidateInFlightReaders) {
   EXPECT_NE(before->get(), after->get());
 }
 
-TEST(ModelRegistryTest, RefreshIsAllOrNothingOnMalformedArtifact) {
-  const fs::path dir = MakeModelDir("all_or_nothing");
+TEST(ModelRegistryTest, MalformedArtifactDoesNotPoisonRefresh) {
+  const fs::path dir = MakeModelDir("malformed_skipped");
   SaveModel(TrainSmall("svm"), dir / "svm.model");
   ModelRegistry registry(dir.string());
   ASSERT_TRUE(registry.Refresh().ok());
 
+  // A never-parsed broken artifact is skipped; everything else keeps serving
+  // and the refresh itself succeeds.
   std::ofstream(dir / "broken.model") << "juggler-model 1\napp oops\n";
-  Status st = registry.Refresh();
-  EXPECT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
-  EXPECT_NE(st.message().find("broken.model"), std::string::npos)
-      << st.message();
-  // The previous snapshot stays live.
+  ASSERT_TRUE(registry.Refresh().ok());
   EXPECT_EQ(registry.version(), 1u);
+  EXPECT_EQ(registry.size(), 1u);
   EXPECT_TRUE(registry.Lookup("svm").ok());
+  EXPECT_EQ(registry.last_refresh().failed, 1u);
+  // The failure is attributed to the file stem (it never declared an app).
+  const auto errors = registry.refresh_errors();
+  ASSERT_EQ(errors.count("broken"), 1u);
+  EXPECT_EQ(errors.at("broken"), 1u);
+}
+
+TEST(ModelRegistryTest, CorruptedArtifactKeepsLastGoodModelServing) {
+  const fs::path dir = MakeModelDir("corrupted_live");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+  ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+  auto good = registry.Lookup("svm");
+  ASSERT_TRUE(good.ok());
+
+  // A retrain pipeline crashes mid-write: the svm artifact is now garbage.
+  std::ofstream(dir / "svm.model") << "half-written garbage";
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.last_refresh().failed, 1u);
+  // Last-good model keeps serving, bit-identical handle; pca untouched.
+  auto after = registry.Lookup("svm");
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->get(), good->get());
+  EXPECT_TRUE(registry.Lookup("pca").ok());
+  EXPECT_EQ(registry.refresh_errors().at("svm"), 1u);
+
+  // While the file stays broken it is not re-parsed every scan (the failure
+  // was fingerprinted); the error counter does not grow.
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.last_refresh().failed, 0u);
+  EXPECT_EQ(registry.refresh_errors().at("svm"), 1u);
+
+  // Fixing the artifact re-parses it and swaps the new model in.
+  SaveModel(TrainSmall("svm", /*iterations=*/9), dir / "svm.model");
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.last_refresh().failed, 0u);
+  EXPECT_EQ(registry.last_refresh().parsed, 1u);
+  auto fixed = registry.Lookup("svm");
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_NE(fixed->get(), good->get());
 }
 
 TEST(ModelRegistryTest, RefreshRejectsDuplicateAppNames) {
@@ -538,6 +577,52 @@ TEST(RecommendationServiceTest, FullQueueShedsWithResourceExhausted) {
   auto r2 = second.get();
   EXPECT_TRUE(r1.ok()) << r1.status().ToString();
   EXPECT_TRUE(r2.ok()) << r2.status().ToString();
+}
+
+TEST(RecommendationServiceTest, QueueDeadlineShedsStaleRequests) {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool release = false;
+
+  RecommendationService::Options options;
+  options.num_workers = 1;
+  options.queue_capacity = 8;
+  options.queue_deadline_ms = 20.0;
+  options.pre_eval_hook = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  ServiceFixture f("deadline_shed", options);
+
+  // First request occupies the single worker, blocked in the hook...
+  auto first = f.service->RecommendAsync(SvmRequest(10000, 1000));
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered >= 1; });
+  }
+  // ...two more distinct questions queue up behind it...
+  auto second = f.service->RecommendAsync(SvmRequest(11000, 1100));
+  auto third = f.service->RecommendAsync(SvmRequest(12000, 1200));
+  // ...and overstay the 20 ms deadline while the worker is stuck.
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+
+  auto r1 = first.get();
+  EXPECT_TRUE(r1.ok()) << r1.status().ToString();
+  auto r2 = second.get();
+  auto r3 = third.get();
+  EXPECT_EQ(r2.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(r3.status().code(), StatusCode::kResourceExhausted);
+  const auto stats = f.service->GetStats();
+  EXPECT_EQ(stats.deadline_shed, 2u);
+  EXPECT_EQ(stats.rejected, 0u);  // Shed by deadline, not by a full queue.
 }
 
 TEST(RecommendationServiceTest, HotReloadBumpsVersionAndBypassesStaleCache) {
