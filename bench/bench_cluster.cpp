@@ -1,0 +1,395 @@
+// bench_cluster: drives the horizontal serving tier end to end — concurrent
+// keep-alive HTTP clients against a RouterHttpServer that consistent-hashes
+// every question across two in-process JRPC shards — and reports cold and
+// warm req/s plus client-observed p50/p99 latency. Results are persisted to
+// BENCH_cluster.json so CI tracks the perf trajectory across commits.
+//
+//   bench_cluster [clients] [requests-per-client] [model-dir] [output-json]
+//
+// Defaults: 16 clients x 250 requests, models in the shared bench registry
+// directory (trained on first run, reused after), JSON to
+// ./BENCH_cluster.json. The cold pass times one client visiting every
+// distinct question once (each answer is a shard-side model evaluation);
+// the warm pass times all clients cycling over the now-cached questions.
+// Acceptance: >= 2000 req/s warm at >= 16 clients (skipped under
+// sanitizers) and zero failed requests in either pass.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "cluster/shard_server.h"
+#include "common/table_printer.h"
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+#include "workloads/workloads.h"
+
+using namespace juggler;  // NOLINT
+
+namespace {
+
+namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Trains any of the five workloads missing from `dir` (same recipe and
+/// default directory as bench_http_server, so artifacts are shared).
+void EnsureModels(const fs::path& dir) {
+  fs::create_directories(dir);
+  for (const auto& w : workloads::AllWorkloads()) {
+    const fs::path path = dir / (w.name + service::ModelRegistry::kModelSuffix);
+    if (fs::exists(path)) continue;
+    core::JugglerConfig config;
+    config.time_grid = core::TrainingGrid{
+        {0.4 * w.paper_params.examples, 0.7 * w.paper_params.examples,
+         w.paper_params.examples},
+        {0.4 * w.paper_params.features, 0.7 * w.paper_params.features,
+         w.paper_params.features},
+        w.paper_params.iterations};
+    config.memory_reference = w.paper_params;
+    config.run_options.noise_sigma = 0.0;
+    config.run_options.straggler_prob = 0.0;
+    std::printf("  training %-4s -> %s\n", w.name.c_str(), path.c_str());
+    auto training = core::TrainJuggler(w.name, w.make, config);
+    if (!training.ok()) {
+      std::fprintf(stderr, "training %s failed: %s\n", w.name.c_str(),
+                   training.status().ToString().c_str());
+      std::exit(1);
+    }
+    std::ofstream out(path);
+    if (auto st = core::SaveTrainedJuggler(training->trained, out);
+        !st.ok() || !out) {
+      std::fprintf(stderr, "saving %s failed\n", path.c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// One serialized POST /v1/recommend per distinct question: 8 input sizes
+/// for each of the five apps, spread across both shards by the hash ring.
+std::vector<std::string> BuildWireRequests() {
+  std::vector<std::string> wire;
+  for (const auto& w : workloads::AllWorkloads()) {
+    for (int i = 0; i < 8; ++i) {
+      char body[256];
+      std::snprintf(body, sizeof(body),
+                    "{\"app\":\"%s\",\"params\":{\"examples\":%d,"
+                    "\"features\":%d,\"iterations\":5}}",
+                    w.name.c_str(), 8000 + 2000 * i, 2000 + 500 * i);
+      char request[512];
+      std::snprintf(request, sizeof(request),
+                    "POST /v1/recommend HTTP/1.1\r\n"
+                    "Host: bench\r\n"
+                    "Content-Type: application/json\r\n"
+                    "Content-Length: %zu\r\n"
+                    "\r\n"
+                    "%s",
+                    std::strlen(body), body);
+      wire.emplace_back(request);
+    }
+  }
+  return wire;
+}
+
+/// Blocking keep-alive client: one connection, synchronous request/response.
+class BenchClient {
+ public:
+  explicit BenchClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (fd_ < 0 ||
+        ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      std::fprintf(stderr, "connect failed: %s\n", std::strerror(errno));
+      std::exit(1);
+    }
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, 1 /* TCP_NODELAY */, &one, sizeof(one));
+  }
+
+  ~BenchClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  /// Sends one request and reads one full response; returns the HTTP status
+  /// code, or -1 on a transport failure.
+  int RoundTrip(const std::string& request) {
+    size_t sent = 0;
+    while (sent < request.size()) {
+      const ssize_t n = ::send(fd_, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return -1;
+      sent += static_cast<size_t>(n);
+    }
+    while (true) {
+      const size_t header_end = buffer_.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        const size_t total = header_end + 4 + ContentLength();
+        if (buffer_.size() >= total) {
+          const int status = std::atoi(buffer_.c_str() + 9);
+          buffer_.erase(0, total);
+          return status;
+        }
+      }
+      char chunk[8192];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return -1;
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  size_t ContentLength() const {
+    const char* pos = std::strstr(buffer_.c_str(), "Content-Length: ");
+    return pos != nullptr
+               ? static_cast<size_t>(std::atol(pos + std::strlen(
+                                                         "Content-Length: ")))
+               : 0;
+  }
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+/// One backend shard: lazy registry + service + JRPC server.
+struct Shard {
+  std::shared_ptr<service::ModelRegistry> registry;
+  std::shared_ptr<service::RecommendationService> service;
+  std::unique_ptr<cluster::ShardServer> server;
+};
+
+std::unique_ptr<Shard> StartShard(const fs::path& model_dir) {
+  auto shard = std::make_unique<Shard>();
+  service::ModelRegistry::Options ropts;
+  ropts.lazy_load = true;  // Each shard only loads what routes to it.
+  shard->registry =
+      std::make_shared<service::ModelRegistry>(model_dir.string(), ropts);
+  if (auto st = shard->registry->Refresh(); !st.ok()) {
+    std::fprintf(stderr, "shard registry refresh failed: %s\n",
+                 st.ToString().c_str());
+    std::exit(1);
+  }
+  service::RecommendationService::Options svc_options;
+  svc_options.num_workers = 2;
+  svc_options.queue_capacity = 4096;
+  svc_options.cache.capacity = 1024;
+  shard->service = std::make_shared<service::RecommendationService>(
+      shard->registry, svc_options);
+  cluster::ShardServer::Options sopts;
+  sopts.rpc.port = 0;  // Ephemeral.
+  sopts.rpc.num_handler_threads = 4;
+  shard->server = std::make_unique<cluster::ShardServer>(
+      shard->registry, shard->service, sopts);
+  if (auto st = shard->server->Start(); !st.ok()) {
+    std::fprintf(stderr, "shard start failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  return shard;
+}
+
+double Percentile(std::vector<double>* sorted_us, double q) {
+  if (sorted_us->empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      q * static_cast<double>(sorted_us->size() - 1) + 0.5);
+  return (*sorted_us)[std::min(index, sorted_us->size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int clients = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int requests_per_client = argc > 2 ? std::atoi(argv[2]) : 250;
+  const fs::path model_dir =
+      argc > 3 ? fs::path(argv[3])
+               : fs::temp_directory_path() / "juggler_bench_registry";
+  const fs::path output_json =
+      argc > 4 ? fs::path(argv[4]) : fs::path("BENCH_cluster.json");
+  if (clients <= 0 || requests_per_client <= 0) {
+    std::fprintf(
+        stderr,
+        "usage: %s [clients] [requests-per-client] [model-dir] [out-json]\n",
+        argv[0]);
+    return 2;
+  }
+
+  std::printf("== Cluster serving throughput (router + 2 shards) ==\n");
+  std::printf("registry: %s\n", model_dir.c_str());
+  EnsureModels(model_dir);
+
+  std::vector<std::unique_ptr<Shard>> shards;
+  std::vector<std::string> addresses;
+  for (int i = 0; i < 2; ++i) {
+    shards.push_back(StartShard(model_dir));
+    addresses.push_back("127.0.0.1:" +
+                        std::to_string(shards.back()->server->port()));
+  }
+
+  cluster::Router::Options ropts;
+  ropts.shards = addresses;
+  auto created = cluster::Router::Create(ropts);
+  if (!created.ok()) {
+    std::fprintf(stderr, "router create failed: %s\n",
+                 created.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<cluster::Router> router = std::move(created).value();
+  if (auto st = router->Start(); !st.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  cluster::RouterHttpServer::Options hopts;
+  hopts.http.port = 0;
+  hopts.http.num_handler_threads = 8;
+  hopts.http.max_connections = static_cast<size_t>(clients) + 16;
+  cluster::RouterHttpServer http(router.get(), hopts);
+  if (auto st = http.Start(); !st.ok()) {
+    std::fprintf(stderr, "router http start failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+  std::printf("router on 127.0.0.1:%u (%s), shards: %s, %s\n", http.port(),
+              http.backend().c_str(), addresses[0].c_str(),
+              addresses[1].c_str());
+
+  const auto wire = BuildWireRequests();
+
+  // Cold pass: every distinct question once. Each answer crosses the RPC
+  // hop and runs a model evaluation (plus a lazy model load the first time
+  // an app hits its shard).
+  double cold_req_per_s = 0.0;
+  {
+    BenchClient client(http.port());
+    const auto start = Clock::now();
+    for (const auto& request : wire) {
+      if (client.RoundTrip(request) != 200) {
+        std::fprintf(stderr, "FAIL: cold request did not return 200\n");
+        return 1;
+      }
+    }
+    cold_req_per_s = static_cast<double>(wire.size()) / SecondsSince(start);
+  }
+
+  // Warm pass: all clients cycle over cached questions concurrently.
+  std::printf("%d clients x %d requests, %zu distinct questions\n", clients,
+              requests_per_client, wire.size());
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(clients));
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> rejected{0};
+  const auto start = Clock::now();
+  for (int t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      BenchClient client(http.port());
+      auto& mine = latencies[static_cast<size_t>(t)];
+      mine.reserve(static_cast<size_t>(requests_per_client));
+      for (int i = 0; i < requests_per_client; ++i) {
+        const auto begin = Clock::now();
+        const int status =
+            client.RoundTrip(wire[static_cast<size_t>(t + i) % wire.size()]);
+        mine.push_back(SecondsSince(begin) * 1e6);
+        if (status == 503) {
+          rejected.fetch_add(1);  // Backpressure: a real client retries.
+        } else if (status != 200) {
+          errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed_s = SecondsSince(start);
+  const uint64_t total = static_cast<uint64_t>(clients) * requests_per_client;
+  const double warm_req_per_s = total / elapsed_s;
+
+  std::vector<double> all_us;
+  all_us.reserve(total);
+  for (auto& v : latencies) {
+    all_us.insert(all_us.end(), v.begin(), v.end());
+  }
+  std::sort(all_us.begin(), all_us.end());
+  const double p50_us = Percentile(&all_us, 0.50);
+  const double p99_us = Percentile(&all_us, 0.99);
+
+  size_t loaded = 0;
+  for (const auto& shard : shards) {
+    loaded += shard->registry->loaded_models();
+  }
+
+  TablePrinter table({"Metric", "Value"});
+  table.AddRow({"requests", std::to_string(total)});
+  table.AddRow({"errors", std::to_string(errors.load())});
+  table.AddRow({"rejected (503)", std::to_string(rejected.load())});
+  table.AddRow({"cold req/s", TablePrinter::Num(cold_req_per_s)});
+  table.AddRow({"warm req/s", TablePrinter::Num(warm_req_per_s)});
+  table.AddRow({"latency p50", TablePrinter::Num(p50_us) + " us"});
+  table.AddRow({"latency p99", TablePrinter::Num(p99_us) + " us"});
+  table.AddRow({"reroutes", std::to_string(router->reroutes())});
+  table.AddRow({"models resident (both shards)", std::to_string(loaded)});
+  table.Print(std::cout);
+
+  // Persisted perf trajectory: one flat JSON document per run.
+  {
+    std::ofstream out(output_json);
+    char json[512];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"cluster\",\"shards\":2,\"clients\":%d,"
+                  "\"requests\":%llu,\"errors\":%llu,"
+                  "\"cold_req_per_s\":%.1f,\"warm_req_per_s\":%.1f,"
+                  "\"p50_us\":%.1f,\"p99_us\":%.1f,\"reroutes\":%llu}\n",
+                  clients, static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(errors.load()),
+                  cold_req_per_s, warm_req_per_s, p50_us, p99_us,
+                  static_cast<unsigned long long>(router->reroutes()));
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", output_json.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", output_json.c_str());
+  }
+
+  http.Stop();
+  router->Stop();
+  for (auto& shard : shards) shard->server->Stop();
+
+  if (errors.load() > 0) {
+    std::fprintf(stderr, "FAIL: %llu non-200/503 responses\n",
+                 static_cast<unsigned long long>(errors.load()));
+    return 1;
+  }
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  std::printf("(sanitizer build: req/s acceptance check skipped)\n");
+#else
+  if (clients >= 16 && warm_req_per_s < 2000.0) {
+    std::fprintf(stderr, "FAIL: %.0f req/s < 2000 acceptance floor\n",
+                 warm_req_per_s);
+    return 1;
+  }
+#endif
+  std::printf("\nOK\n");
+  return 0;
+}

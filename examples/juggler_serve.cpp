@@ -1,6 +1,6 @@
 // juggler_serve: the online serving subsystem (§5.5) as a process — an HTTP
-// front end over RecommendationService by default, or an interactive REPL
-// with --stdin.
+// front end over RecommendationService by default, an interactive REPL with
+// --stdin, or one node of the horizontal serving tier with --role.
 //
 //   juggler_serve <model-dir> [flags]
 //
@@ -8,18 +8,31 @@
 //                       (full offline recipe, §5.1-§5.4)
 //   --train-fast        like --train but on a small deterministic grid
 //                       (seconds instead of minutes; for smoke tests)
+//   --role R            standalone (default) | shard | router
 //   --host H            bind address            (default 127.0.0.1)
-//   --port P            bind port, 0=ephemeral  (default 8080)
+//   --port P            bind port, 0=ephemeral  (default 8080; the HTTP
+//                       port for standalone/router, the RPC port for shard)
 //   --workers N         evaluation worker threads        (default 4)
 //   --queue-capacity N  evaluation queue slots           (default 1024)
 //   --cache-capacity N  prediction cache entries         (default 4096)
-//   --handler-threads N HTTP handler threads             (default 4)
+//   --handler-threads N HTTP/RPC handler threads         (default 4)
 //   --eval-delay-ms N   artificial delay before each evaluation (testing
 //                       backpressure; default 0)
 //   --stdin             REPL on stdin instead of the HTTP server
 //
-// Server mode prints "listening on http://HOST:PORT (BACKEND)" once ready
-// and serves until SIGINT/SIGTERM; REPL mode reads one command per line:
+// Shard-role flags (lazy model memory policy):
+//   --max-loaded-models N  models resident at once, 0=unlimited (default 0)
+//   --model-ttl-ms N       evict models idle this long, 0=off   (default 0)
+//
+// Router-role flags:
+//   --shards LIST          comma-separated host:port backends (required)
+//   --probe-interval-ms N  shard health-probe cadence   (default 250)
+//   --rpc-timeout-ms N     per-call budget to a shard   (default 5000)
+//
+// Standalone/router mode prints "listening on http://HOST:PORT (BACKEND)"
+// once ready; shard mode prints "shard listening on rpc://HOST:PORT
+// (BACKEND)". All serve until SIGINT/SIGTERM; REPL mode reads one command
+// per line:
 //
 //   <app> <examples> <features> [iterations] [machine-GB]   answer a query
 //   reload      re-scan the model directory (hot, never blocks requests)
@@ -46,7 +59,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "cluster/router.h"
+#include "cluster/shard_server.h"
 #include "common/table_printer.h"
 #include "common/units.h"
 #include "core/juggler.h"
@@ -82,13 +98,30 @@ int Usage() {
   std::cerr
       << "usage: juggler_serve <model-dir> [--train|--train-fast] [--host H] "
          "[--port P]\n"
+         "                     [--role standalone|shard|router] "
+         "[--shards H:P,H:P,...]\n"
          "                     [--workers N] [--queue-capacity N] "
          "[--cache-capacity N]\n"
          "                     [--handler-threads N] [--eval-delay-ms N] "
          "[--stdin]\n"
+         "                     [--max-loaded-models N] [--model-ttl-ms N]\n"
+         "                     [--probe-interval-ms N] [--rpc-timeout-ms N]\n"
          "stdin commands (with --stdin): <app> <examples> <features> "
          "[iterations] [machine-GB] | reload | stats | apps | quit\n";
   return 2;
+}
+
+/// Splits "host:port,host:port" on commas (empty pieces dropped).
+std::vector<std::string> SplitShards(const std::string& list) {
+  std::vector<std::string> shards;
+  size_t begin = 0;
+  while (begin <= list.size()) {
+    size_t comma = list.find(',', begin);
+    if (comma == std::string::npos) comma = list.size();
+    if (comma > begin) shards.push_back(list.substr(begin, comma - begin));
+    begin = comma + 1;
+  }
+  return shards;
 }
 
 /// Trains every paper workload missing from `dir`. The full recipe is the
@@ -249,6 +282,8 @@ int main(int argc, char** argv) {
   bool train = false;
   bool train_fast = false;
   bool use_stdin = false;
+  std::string role = "standalone";
+  std::string shards_list;
   std::string host = "127.0.0.1";
   int port = 8080;
   int workers = 4;
@@ -256,6 +291,10 @@ int main(int argc, char** argv) {
   int cache_capacity = 4096;
   int handler_threads = 4;
   int eval_delay_ms = 0;
+  int max_loaded_models = 0;
+  int model_ttl_ms = 0;
+  int probe_interval_ms = 250;
+  int rpc_timeout_ms = 5000;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -265,6 +304,10 @@ int main(int argc, char** argv) {
       train = train_fast = true;
     } else if (arg == "--stdin") {
       use_stdin = true;
+    } else if (arg == "--role" && has_value) {
+      role = argv[++i];
+    } else if (arg == "--shards" && has_value) {
+      shards_list = argv[++i];
     } else if (arg == "--host" && has_value) {
       host = argv[++i];
     } else if (arg == "--port" && has_value) {
@@ -279,12 +322,34 @@ int main(int argc, char** argv) {
       handler_threads = std::atoi(argv[++i]);
     } else if (arg == "--eval-delay-ms" && has_value) {
       eval_delay_ms = std::atoi(argv[++i]);
+    } else if (arg == "--max-loaded-models" && has_value) {
+      max_loaded_models = std::atoi(argv[++i]);
+    } else if (arg == "--model-ttl-ms" && has_value) {
+      model_ttl_ms = std::atoi(argv[++i]);
+    } else if (arg == "--probe-interval-ms" && has_value) {
+      probe_interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--rpc-timeout-ms" && has_value) {
+      rpc_timeout_ms = std::atoi(argv[++i]);
     } else {
       return Usage();
     }
   }
   if (port < 0 || port > 65535 || workers < 1 || queue_capacity < 1 ||
-      cache_capacity < 1 || handler_threads < 1 || eval_delay_ms < 0) {
+      cache_capacity < 1 || handler_threads < 1 || eval_delay_ms < 0 ||
+      max_loaded_models < 0 || model_ttl_ms < 0 || probe_interval_ms < 1 ||
+      rpc_timeout_ms < 1) {
+    return Usage();
+  }
+  if (role != "standalone" && role != "shard" && role != "router") {
+    std::fprintf(stderr, "--role must be standalone, shard, or router\n");
+    return Usage();
+  }
+  if (role == "router" && shards_list.empty()) {
+    std::fprintf(stderr, "--role router requires --shards host:port,...\n");
+    return Usage();
+  }
+  if (use_stdin && role != "standalone") {
+    std::fprintf(stderr, "--stdin only works with --role standalone\n");
     return Usage();
   }
 
@@ -292,7 +357,66 @@ int main(int argc, char** argv) {
     if (int rc = TrainMissing(model_dir, train_fast); rc != 0) return rc;
   }
 
-  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string());
+  if (role == "router") {
+    // The router holds no models: it hashes questions across the shard
+    // fleet and forwards. <model-dir> is accepted (so all three roles share
+    // a command line) but not opened.
+    cluster::Router::Options router_options;
+    router_options.shards = SplitShards(shards_list);
+    router_options.probe_interval_ms = probe_interval_ms;
+    router_options.rpc_timeout_ms = rpc_timeout_ms;
+    auto router = cluster::Router::Create(router_options);
+    if (!router.ok()) {
+      std::fprintf(stderr, "%s\n", router.status().ToString().c_str());
+      return 1;
+    }
+    if (auto st = (*router)->Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    cluster::RouterHttpServer::Options server_options;
+    server_options.http.host = host;
+    server_options.http.port = static_cast<uint16_t>(port);
+    server_options.http.num_handler_threads = handler_threads;
+    cluster::RouterHttpServer server(router->get(), server_options);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    InstallSignalHandlers();
+    std::printf("routing across %zu shard(s)\n", (*router)->shard_count());
+    std::printf("listening on http://%s:%u (%s)\n", host.c_str(),
+                static_cast<unsigned>(server.port()),
+                server.backend().c_str());
+    std::fflush(stdout);
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("\nsignal %d: shutting down\n", static_cast<int>(g_signal));
+    server.Stop();
+    (*router)->Stop();
+    for (const auto& s : (*router)->GetShardStats()) {
+      std::printf("shard %s: %s | requests %llu | errors %llu | p95 %.1f us\n",
+                  s.address.c_str(), s.healthy ? "healthy" : "down",
+                  static_cast<unsigned long long>(s.requests),
+                  static_cast<unsigned long long>(s.errors),
+                  s.latency.p95_us);
+    }
+    std::printf("router stats: reroutes %llu | probes %llu\n",
+                static_cast<unsigned long long>((*router)->reroutes()),
+                static_cast<unsigned long long>((*router)->probes()));
+    return 0;
+  }
+
+  service::ModelRegistry::Options registry_options;
+  // A shard only loads the models the router's hash steers to it; the flags
+  // also opt standalone mode into the same bounded-memory policy.
+  registry_options.lazy_load =
+      role == "shard" || max_loaded_models > 0 || model_ttl_ms > 0;
+  registry_options.max_loaded = static_cast<size_t>(max_loaded_models);
+  registry_options.ttl_ms = model_ttl_ms;
+  auto registry = std::make_shared<service::ModelRegistry>(model_dir.string(),
+                                                           registry_options);
   if (auto st = registry->Refresh(); !st.ok()) {
     std::fprintf(stderr, "%s\n", st.ToString().c_str());
     return 1;
@@ -314,6 +438,38 @@ int main(int argc, char** argv) {
   int rc = 0;
   if (use_stdin) {
     rc = RunRepl(registry, *svc);
+  } else if (role == "shard") {
+    cluster::ShardServer::Options server_options;
+    server_options.rpc.host = host;
+    server_options.rpc.port = static_cast<uint16_t>(port);
+    server_options.rpc.num_handler_threads = handler_threads;
+    cluster::ShardServer server(registry, svc, server_options);
+    if (auto st = server.Start(); !st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("serving %zu model(s) from %s (lazy load)\n",
+                registry->size(), model_dir.c_str());
+    std::printf("shard listening on rpc://%s:%u (%s)\n", host.c_str(),
+                static_cast<unsigned>(server.port()),
+                server.backend().c_str());
+    std::fflush(stdout);
+    while (g_signal == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    std::printf("\nsignal %d: shutting down\n", static_cast<int>(g_signal));
+    server.Stop();
+    const auto rpc = server.rpc_stats();
+    std::printf("rpc stats: accepted %llu | frames %llu | pings %llu | "
+                "overload %llu | protocol errors %llu\n",
+                static_cast<unsigned long long>(rpc.accepted),
+                static_cast<unsigned long long>(rpc.frames),
+                static_cast<unsigned long long>(rpc.pings),
+                static_cast<unsigned long long>(rpc.overload_rejected),
+                static_cast<unsigned long long>(rpc.protocol_errors));
+    std::printf("registry: %zu/%zu model(s) resident | evictions %llu\n",
+                registry->loaded_models(), registry->size(),
+                static_cast<unsigned long long>(registry->evictions()));
   } else {
     net::HttpRecommendServer::Options server_options;
     server_options.http.host = host;

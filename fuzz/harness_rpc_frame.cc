@@ -1,0 +1,77 @@
+#include <algorithm>
+#include <string>
+
+#include "fuzz/harnesses.h"
+#include "rpc/frame.h"
+
+namespace juggler::fuzz {
+
+int RunRpcFrame(const uint8_t* data, size_t size) {
+  if (size == 0) return 0;
+  // Small payload cap: every input cheaply reaches the oversize rejection
+  // edge; the committed corpus has frames on both sides of it.
+  rpc::FrameDecoder::Limits limits;
+  limits.max_payload_bytes = 1024;
+  rpc::FrameDecoder decoder(limits);
+
+  const size_t chunk = data[0] == 0 ? size : (data[0] % 97) + 1;
+  const char* bytes = reinterpret_cast<const char*>(data) + 1;
+  size_t remaining = size - 1;
+  bool poisoned = false;
+  while (true) {
+    // Drain complete frames before feeding more, like the event loop does.
+    while (true) {
+      const rpc::FrameDecoder::Result result = decoder.Next();
+      if (result.state == rpc::FrameDecoder::State::kReady) {
+        JUGGLER_FUZZ_CHECK(
+            rpc::IsKnownFrameType(static_cast<uint8_t>(result.frame.type)),
+            "decoded frames carry a known type");
+        JUGGLER_FUZZ_CHECK(
+            result.frame.payload.size() <= limits.max_payload_bytes,
+            "decoded payloads respect the limit");
+        // Round-trip oracle: re-encoding a decoded frame and decoding that
+        // must reproduce the frame exactly.
+        const std::string wire = rpc::EncodeFrame(result.frame);
+        JUGGLER_FUZZ_CHECK(
+            wire.size() == rpc::kFrameHeaderBytes + result.frame.payload.size(),
+            "encoded size is header + payload");
+        rpc::FrameDecoder again(limits);
+        again.Append(wire.data(), wire.size());
+        const rpc::FrameDecoder::Result twice = again.Next();
+        JUGGLER_FUZZ_CHECK(twice.state == rpc::FrameDecoder::State::kReady,
+                           "re-encoded frames decode");
+        JUGGLER_FUZZ_CHECK(twice.frame.type == result.frame.type &&
+                               twice.frame.request_id ==
+                                   result.frame.request_id &&
+                               twice.frame.payload == result.frame.payload,
+                           "round-trip is lossless");
+        continue;
+      }
+      if (result.state == rpc::FrameDecoder::State::kError) {
+        JUGGLER_FUZZ_CHECK(!result.error_detail.empty(),
+                           "decoder errors carry a reason");
+        JUGGLER_FUZZ_CHECK(decoder.failed(), "kError poisons the decoder");
+        poisoned = true;
+      }
+      break;
+    }
+    if (poisoned) {
+      JUGGLER_FUZZ_CHECK(decoder.buffered_bytes() == 0,
+                         "poisoned decoder drops its buffer");
+    } else {
+      // A drained decoder holds at most one incomplete frame.
+      JUGGLER_FUZZ_CHECK(
+          decoder.buffered_bytes() <
+              rpc::kFrameHeaderBytes + limits.max_payload_bytes,
+          "drained decoder stays within its configured limits");
+    }
+    if (remaining == 0) break;
+    const size_t n = std::min(chunk, remaining);
+    decoder.Append(bytes, n);
+    bytes += n;
+    remaining -= n;
+  }
+  return 0;
+}
+
+}  // namespace juggler::fuzz

@@ -47,6 +47,13 @@ int RunJson(const uint8_t* data, size_t size);
 /// the save of a loaded model must itself load, byte-stably.
 int RunModelLoader(const uint8_t* data, size_t size);
 
+/// Feeds the bytes to rpc::FrameDecoder (the shard tier's binary framing).
+/// The first input byte selects the Append() chunking exactly like
+/// RunHttpParser. Checks: decoded frames survive an encode/decode round
+/// trip losslessly, poisoned decoders hold zero bytes, drained decoders
+/// stay under header + max-payload, and every error carries a reason.
+int RunRpcFrame(const uint8_t* data, size_t size);
+
 /// End-to-end: the bytes are a client byte stream, parsed by HttpParser (an
 /// in-memory transport — no sockets) and routed through a real
 /// HttpRecommendServer (registry + service trained once at startup) via

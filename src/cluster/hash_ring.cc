@@ -1,0 +1,74 @@
+#include "cluster/hash_ring.h"
+
+#include <algorithm>
+
+namespace juggler::cluster {
+
+uint64_t HashBytes(const std::string& bytes) {
+  // FNV-1a 64.
+  uint64_t h = 14695981039346656037ULL;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // SplitMix64 finalizer: FNV alone avalanches poorly in the high bits,
+  // which is exactly where the ring comparison looks.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  return h;
+}
+
+HashRing::HashRing(size_t node_count, size_t virtual_nodes)
+    : node_count_(node_count) {
+  if (virtual_nodes == 0) virtual_nodes = 1;
+  points_.reserve(node_count * virtual_nodes);
+  for (size_t node = 0; node < node_count; ++node) {
+    for (size_t replica = 0; replica < virtual_nodes; ++replica) {
+      const std::string id =
+          std::to_string(node) + "#" + std::to_string(replica);
+      points_.push_back(Point{HashBytes(id), node});
+    }
+  }
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              // Position ties (vanishingly rare) break by node index so the
+              // ring order is still deterministic.
+              return a.position != b.position ? a.position < b.position
+                                              : a.node < b.node;
+            });
+}
+
+size_t HashRing::FirstPoint(const std::string& key) const {
+  const uint64_t h = HashBytes(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), h,
+      [](const Point& p, uint64_t value) { return p.position < value; });
+  return it == points_.end() ? 0 : static_cast<size_t>(it - points_.begin());
+}
+
+size_t HashRing::Owner(const std::string& key) const {
+  return points_[FirstPoint(key)].node;
+}
+
+std::vector<size_t> HashRing::Preference(const std::string& key,
+                                         size_t n) const {
+  std::vector<size_t> order;
+  if (points_.empty()) return order;
+  n = std::min(n, node_count_);
+  order.reserve(n);
+  std::vector<bool> seen(node_count_, false);
+  const size_t start = FirstPoint(key);
+  for (size_t i = 0; i < points_.size() && order.size() < n; ++i) {
+    const size_t node = points_[(start + i) % points_.size()].node;
+    if (!seen[node]) {
+      seen[node] = true;
+      order.push_back(node);
+    }
+  }
+  return order;
+}
+
+}  // namespace juggler::cluster

@@ -1,0 +1,64 @@
+#ifndef JUGGLER_CLUSTER_HASH_RING_H_
+#define JUGGLER_CLUSTER_HASH_RING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace juggler::cluster {
+
+/// Deterministic 64-bit hash of a byte string: FNV-1a folded through a
+/// SplitMix64 finalizer for avalanche. Stable across builds and platforms —
+/// the ring position of a key must not change when the router restarts, or
+/// every shard's warm cache is thrown away.
+uint64_t HashBytes(const std::string& bytes);
+
+/// \brief Consistent-hash ring over a fixed set of nodes.
+///
+/// Each node is planted at `virtual_nodes` pseudo-random ring positions
+/// (hash of "node#replica"); a key routes to the first node clockwise from
+/// its own hash. Properties the serving tier leans on:
+///
+///  - Stability: a key's owner only changes if its owner's ring segment
+///    changes — restarts and reconfigurations that keep the node list keep
+///    the mapping bit-for-bit.
+///  - Spread: virtual nodes keep the per-node key share near 1/N (the
+///    distribution test pins the tolerance).
+///  - Failover order: Preference() yields the clockwise sequence of
+///    *distinct* nodes, so "next shard to try when the owner is down" is
+///    well-defined and itself stable.
+///
+/// Immutable after construction; safe to share across threads.
+class HashRing {
+ public:
+  /// `node_count` nodes, indexed 0..node_count-1. `virtual_nodes` replicas
+  /// per node (>=1; 64 keeps the spread within a few percent).
+  HashRing(size_t node_count, size_t virtual_nodes = 64);
+
+  /// The owning node for `key`. Requires node_count >= 1.
+  size_t Owner(const std::string& key) const;
+
+  /// The first min(n, node_count) distinct nodes clockwise from `key`'s
+  /// position: the owner, then its failover order.
+  std::vector<size_t> Preference(const std::string& key, size_t n) const;
+
+  size_t node_count() const { return node_count_; }
+
+ private:
+  struct Point {
+    uint64_t position;
+    size_t node;
+  };
+
+  /// Index into points_ of the first point at-or-after the key's hash
+  /// (wrapping to 0 past the end).
+  size_t FirstPoint(const std::string& key) const;
+
+  size_t node_count_;
+  std::vector<Point> points_;  ///< Sorted by position.
+};
+
+}  // namespace juggler::cluster
+
+#endif  // JUGGLER_CLUSTER_HASH_RING_H_

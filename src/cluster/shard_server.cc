@@ -1,0 +1,94 @@
+#include "cluster/shard_server.h"
+
+#include "net/json.h"
+#include "net/recommend_codec.h"
+
+namespace juggler::cluster {
+
+namespace {
+
+rpc::RpcFrame ErrorFrame(const Status& status) {
+  rpc::RpcFrame frame;
+  frame.type = rpc::FrameType::kError;
+  frame.payload = net::ErrorJson(status).Dump();
+  return frame;
+}
+
+rpc::RpcFrame Reply(rpc::FrameType type, std::string payload) {
+  rpc::RpcFrame frame;
+  frame.type = type;
+  frame.payload = std::move(payload);
+  return frame;
+}
+
+}  // namespace
+
+ShardServer::ShardServer(
+    std::shared_ptr<service::ModelRegistry> registry,
+    std::shared_ptr<service::RecommendationService> service,
+    const Options& options)
+    : registry_(std::move(registry)),
+      service_(std::move(service)),
+      server_(options.rpc,
+              [this](const rpc::RpcFrame& request) { return Handle(request); }) {
+}
+
+rpc::RpcFrame ShardServer::Handle(const rpc::RpcFrame& request) {
+  switch (request.type) {
+    case rpc::FrameType::kRecommend:
+      return HandleRecommend(request);
+    case rpc::FrameType::kApps:
+      return HandleApps();
+    case rpc::FrameType::kReload:
+      return HandleReload();
+    default:
+      return ErrorFrame(Status::InvalidArgument(
+          "unsupported frame type " +
+          std::to_string(static_cast<int>(request.type))));
+  }
+}
+
+rpc::RpcFrame ShardServer::HandleRecommend(const rpc::RpcFrame& request) {
+  auto json = net::Json::Parse(request.payload);
+  if (!json.ok()) return ErrorFrame(json.status());
+  auto parsed = net::ParseRecommendRequest(*json);
+  if (!parsed.ok()) return ErrorFrame(parsed.status());
+  auto response = service_->Recommend(*parsed);
+  if (!response.ok()) return ErrorFrame(response.status());
+  return Reply(rpc::FrameType::kRecommendReply,
+               net::ResponseJson(parsed->app, *response).Dump());
+}
+
+rpc::RpcFrame ShardServer::HandleApps() const {
+  net::Json apps = net::Json::Arr();
+  for (const std::string& name : registry_->AppNames()) {
+    apps.Append(net::Json::Str(name));
+  }
+  net::Json out = net::Json::Obj();
+  out.Set("version",
+          net::Json::Number(static_cast<double>(registry_->version())))
+      .Set("apps", std::move(apps));
+  return Reply(rpc::FrameType::kAppsReply, out.Dump());
+}
+
+rpc::RpcFrame ShardServer::HandleReload() {
+  if (Status status = registry_->Refresh(); !status.ok()) {
+    return ErrorFrame(status);
+  }
+  const auto refresh = registry_->last_refresh();
+  net::Json stats = net::Json::Obj();
+  stats
+      .Set("scanned", net::Json::Number(static_cast<double>(refresh.scanned)))
+      .Set("parsed", net::Json::Number(static_cast<double>(refresh.parsed)))
+      .Set("reused", net::Json::Number(static_cast<double>(refresh.reused)))
+      .Set("removed", net::Json::Number(static_cast<double>(refresh.removed)))
+      .Set("failed", net::Json::Number(static_cast<double>(refresh.failed)));
+  net::Json out = net::Json::Obj();
+  out.Set("version",
+          net::Json::Number(static_cast<double>(registry_->version())))
+      .Set("models", net::Json::Number(static_cast<double>(registry_->size())))
+      .Set("refresh", std::move(stats));
+  return Reply(rpc::FrameType::kReloadReply, out.Dump());
+}
+
+}  // namespace juggler::cluster

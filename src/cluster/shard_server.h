@@ -1,0 +1,62 @@
+#ifndef JUGGLER_CLUSTER_SHARD_SERVER_H_
+#define JUGGLER_CLUSTER_SHARD_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+#include "rpc/rpc_server.h"
+#include "service/model_registry.h"
+#include "service/recommendation_service.h"
+
+namespace juggler::cluster {
+
+/// \brief One backend shard of the horizontal serving tier: a JRPC server
+/// answering the recommend API over binary frames.
+///
+/// A shard owns a RecommendationService + ModelRegistry exactly like the
+/// standalone HTTP server does; what makes it a *slice* of the fleet is the
+/// router's consistent hashing plus lazy model loading — each shard is only
+/// ever asked about the apps that hash to it, so (with
+/// ModelRegistry::Options::lazy_load) it only pays memory for those models.
+///
+/// Frame protocol (payloads are the HTTP API's JSON documents verbatim):
+///   kRecommend  -> kRecommendReply | kError
+///   kApps       -> kAppsReply  {"version":v,"apps":[...]}
+///   kReload     -> kReloadReply {registry reload summary}
+///   anything else -> kError INVALID_ARGUMENT
+class ShardServer {
+ public:
+  struct Options {
+    rpc::RpcServer::Options rpc;
+  };
+
+  ShardServer(std::shared_ptr<service::ModelRegistry> registry,
+              std::shared_ptr<service::RecommendationService> service,
+              const Options& options);
+
+  [[nodiscard]] Status Start() { return server_.Start(); }
+  void Stop() { server_.Stop(); }
+
+  uint16_t port() const { return server_.port(); }
+  const std::string& backend() const { return server_.backend(); }
+  rpc::RpcServer::Stats rpc_stats() const { return server_.GetStats(); }
+
+  /// Full dispatch of one request frame (handler-pool path). Public so tests
+  /// can exercise the protocol without a socket.
+  rpc::RpcFrame Handle(const rpc::RpcFrame& request);
+
+ private:
+  rpc::RpcFrame HandleRecommend(const rpc::RpcFrame& request);
+  rpc::RpcFrame HandleApps() const;
+  rpc::RpcFrame HandleReload();
+
+  std::shared_ptr<service::ModelRegistry> registry_;
+  std::shared_ptr<service::RecommendationService> service_;
+  rpc::RpcServer server_;
+};
+
+}  // namespace juggler::cluster
+
+#endif  // JUGGLER_CLUSTER_SHARD_SERVER_H_

@@ -61,6 +61,28 @@ std::string Snippet(const std::string& s) {
   return s.size() <= kMax ? s : s.substr(0, kMax) + "...";
 }
 
+/// Chunk-size grammar is 1*HEXDIG (extensions already stripped). 16 digits
+/// bound the value to uint64_t without an overflow branch per digit.
+bool ParseChunkSize(const std::string& line, uint64_t* out) {
+  if (line.empty() || line.size() > 16) return false;
+  uint64_t value = 0;
+  for (const char c : line) {
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      digit = c - 'A' + 10;
+    } else {
+      return false;
+    }
+    value = value * 16 + static_cast<uint64_t>(digit);
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 const std::string* HttpRequest::FindHeader(const std::string& name) const {
@@ -200,6 +222,7 @@ HttpParser::Result HttpParser::Next() {
 
   // --- Header fields --------------------------------------------------------
   bool have_content_length = false;
+  bool chunked = false;
   size_t content_length = 0;
   size_t pos = line_end + 2;
   while (pos < header_end) {
@@ -219,8 +242,16 @@ HttpParser::Result HttpParser::Next() {
     std::string value = Trim(line.substr(colon + 1));
     if (!IsValidToken(name)) return Fail(400, "invalid header field name");
     if (EqualsIgnoreCase(name, "Transfer-Encoding")) {
-      return Fail(501, "Transfer-Encoding is not supported; use "
-                       "Content-Length");
+      // "chunked" alone is supported; any other coding (or a coding list)
+      // would change the framing in ways we do not implement, so 501 rather
+      // than mis-frame. A second TE header is a framing ambiguity: 400.
+      if (chunked) return Fail(400, "duplicate Transfer-Encoding header");
+      if (!EqualsIgnoreCase(value, "chunked")) {
+        return Fail(501, "Transfer-Encoding '" + Snippet(value) +
+                             "' is not supported; use 'chunked' or "
+                             "Content-Length");
+      }
+      chunked = true;
     }
     if (EqualsIgnoreCase(name, "Content-Length")) {
       size_t parsed = 0;
@@ -256,12 +287,111 @@ HttpParser::Result HttpParser::Next() {
 
   // --- Body -----------------------------------------------------------------
   const size_t body_start = header_end + 4;
+  if (chunked) {
+    if (have_content_length) {
+      // RFC 7230 §3.3.3: the classic request-smuggling vector. Reject rather
+      // than pick a winner.
+      return Fail(400,
+                  "both Transfer-Encoding and Content-Length present");
+    }
+    return NextChunked(std::move(request), body_start);
+  }
   if (buffer_.size() < body_start + content_length) {
     return Result{};  // kNeedMore
   }
   request.body = buffer_.substr(body_start, content_length);
   buffer_.erase(0, body_start + content_length);
 
+  Result result;
+  result.state = State::kReady;
+  result.request = std::move(request);
+  return result;
+}
+
+HttpParser::Result HttpParser::NextChunked(HttpRequest request,
+                                           size_t body_start) {
+  // Cap on the *encoded* stream, kept strictly below the server's read-pause
+  // flood guard (max_header + max_body + 4096 buffered bytes): a client
+  // dribbling 1-byte chunks must hit this 413 before the server ever stops
+  // reading, or the connection would deadlock waiting for bytes that are
+  // already refused. The overhead allowance also bounds size lines and
+  // trailers, so no separate per-line limit can be gamed.
+  const size_t max_encoded = limits_.max_body_bytes + 2048;
+  const auto encoded_overflow = [&]() -> bool {
+    return buffer_.size() - body_start > max_encoded;
+  };
+
+  std::string body;
+  size_t pos = body_start;
+  // Chunk data: <hex-size>[;ext]CRLF <bytes> CRLF ... 0CRLF
+  for (;;) {
+    const size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      if (encoded_overflow()) {
+        return Fail(413, "chunked body exceeds encoded limit of " +
+                             std::to_string(max_encoded) + " bytes");
+      }
+      return Result{};  // kNeedMore
+    }
+    std::string size_line = buffer_.substr(pos, eol - pos);
+    // Chunk extensions (";name=value") carry nothing we honor: strip and
+    // discard. The spec allows BWS around ';' in practice; trim it.
+    if (const size_t semi = size_line.find(';'); semi != std::string::npos) {
+      size_line = size_line.substr(0, semi);
+    }
+    size_line = Trim(size_line);
+    uint64_t chunk_size = 0;
+    if (!ParseChunkSize(size_line, &chunk_size)) {
+      return Fail(400, "invalid chunk size '" + Snippet(size_line) + "'");
+    }
+    if (chunk_size > limits_.max_body_bytes ||
+        body.size() + chunk_size > limits_.max_body_bytes) {
+      // Checked from the size line alone, before the chunk's bytes are
+      // waited for (same policy as the Content-Length 413).
+      return Fail(413, "chunked body exceeds limit of " +
+                           std::to_string(limits_.max_body_bytes) + " bytes");
+    }
+    pos = eol + 2;
+    if (chunk_size == 0) break;  // Last chunk; trailers follow.
+    if (buffer_.size() < pos + chunk_size + 2) {
+      if (encoded_overflow()) {
+        return Fail(413, "chunked body exceeds encoded limit of " +
+                             std::to_string(max_encoded) + " bytes");
+      }
+      return Result{};  // kNeedMore
+    }
+    body.append(buffer_, pos, static_cast<size_t>(chunk_size));
+    if (buffer_[pos + chunk_size] != '\r' ||
+        buffer_[pos + chunk_size + 1] != '\n') {
+      return Fail(400, "chunk data not terminated by CRLF");
+    }
+    pos += chunk_size + 2;
+  }
+
+  // Trailer section: header-shaped lines we discard, ended by an empty line.
+  for (;;) {
+    const size_t eol = buffer_.find("\r\n", pos);
+    if (eol == std::string::npos) {
+      if (encoded_overflow()) {
+        return Fail(413, "chunked body exceeds encoded limit of " +
+                             std::to_string(max_encoded) + " bytes");
+      }
+      return Result{};  // kNeedMore
+    }
+    if (eol == pos) {  // Empty line: end of trailers, end of request.
+      pos = eol + 2;
+      break;
+    }
+    const std::string line = buffer_.substr(pos, eol - pos);
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos || !IsValidToken(line.substr(0, colon))) {
+      return Fail(400, "malformed trailer field");
+    }
+    pos = eol + 2;
+  }
+
+  request.body = std::move(body);
+  buffer_.erase(0, pos);
   Result result;
   result.state = State::kReady;
   result.request = std::move(request);

@@ -60,8 +60,11 @@ std::string SerializeResponse(const HttpResponse& response, bool keep_alive);
 ///
 /// Scope — what a minimal-but-correct origin server needs, and nothing more:
 ///  - request line + headers, strict CRLF line endings;
-///  - bodies via Content-Length only; Transfer-Encoding (chunked) is
-///    rejected with 501 rather than mis-framed;
+///  - bodies via Content-Length or Transfer-Encoding: chunked (decoded with
+///    bounded size lines, bounded trailers, and a cap on the encoded stream
+///    so a trickle of 1-byte chunks cannot park below the flood guard); any
+///    other Transfer-Encoding is rejected with 501 rather than mis-framed,
+///    and TE + Content-Length together is a 400 (request smuggling vector);
 ///  - size limits: header section and body are each capped, oversize input
 ///    yields 413 without buffering the flood;
 ///  - malformed input yields 400 with a one-line reason; the connection
@@ -106,6 +109,10 @@ class HttpParser {
 
  private:
   Result Fail(int status, std::string detail);
+
+  /// Decodes a Transfer-Encoding: chunked body starting at `body_start` in
+  /// the buffer. Consumes through the trailer section on success.
+  Result NextChunked(HttpRequest request, size_t body_start);
 
   Limits limits_;
   std::string buffer_;

@@ -1,61 +1,15 @@
 #include "net/http_recommend_server.h"
 
-#include <cinttypes>
-#include <cstdio>
 #include <utility>
 #include <vector>
 
-#include "common/units.h"
-#include "minispark/cluster.h"
 #include "net/json.h"
+#include "net/prometheus.h"
+#include "net/recommend_codec.h"
 
 namespace juggler::net {
 
 namespace {
-
-const char* CodeName(StatusCode code) {
-  switch (code) {
-    case StatusCode::kOk:
-      return "OK";
-    case StatusCode::kInvalidArgument:
-      return "INVALID_ARGUMENT";
-    case StatusCode::kNotFound:
-      return "NOT_FOUND";
-    case StatusCode::kOutOfRange:
-      return "OUT_OF_RANGE";
-    case StatusCode::kFailedPrecondition:
-      return "FAILED_PRECONDITION";
-    case StatusCode::kResourceExhausted:
-      return "RESOURCE_EXHAUSTED";
-    case StatusCode::kAborted:
-      return "ABORTED";
-    case StatusCode::kInternal:
-      return "INTERNAL";
-  }
-  return "UNKNOWN";
-}
-
-int HttpStatusFor(StatusCode code) {
-  switch (code) {
-    case StatusCode::kInvalidArgument:
-    case StatusCode::kOutOfRange:
-      return 400;
-    case StatusCode::kNotFound:
-      return 404;
-    case StatusCode::kResourceExhausted:
-    case StatusCode::kFailedPrecondition:
-      return 503;  // Transient: full queue / not ready. Retry with backoff.
-    default:
-      return 500;
-  }
-}
-
-Json ErrorJson(const Status& status) {
-  Json error = Json::Obj();
-  error.Set("code", Json::Str(CodeName(status.code())))
-      .Set("message", Json::Str(status.message()));
-  return Json::Obj().Set("error", std::move(error));
-}
 
 HttpResponse MethodNotAllowed(const std::string& allow) {
   HttpResponse response = HttpResponse::JsonBody(
@@ -66,143 +20,7 @@ HttpResponse MethodNotAllowed(const std::string& allow) {
   return response;
 }
 
-/// Decodes the wire format documented on the class into a service request.
-StatusOr<service::RecommendRequest> ParseRecommendRequest(const Json& json) {
-  if (!json.is_object()) {
-    return Status::InvalidArgument("request must be a JSON object");
-  }
-  service::RecommendRequest request;
-  const Json* app = json.Find("app");
-  if (app == nullptr || !app->is_string() || app->string_value().empty()) {
-    return Status::InvalidArgument("missing required string field 'app'");
-  }
-  request.app = app->string_value();
-
-  const Json* params = json.Find("params");
-  if (params == nullptr || !params->is_object()) {
-    return Status::InvalidArgument("missing required object field 'params'");
-  }
-  const Json* examples = params->Find("examples");
-  const Json* features = params->Find("features");
-  if (examples == nullptr || !examples->is_number() ||
-      examples->number_value() <= 0.0) {
-    return Status::InvalidArgument("'params.examples' must be a number > 0");
-  }
-  if (features == nullptr || !features->is_number() ||
-      features->number_value() <= 0.0) {
-    return Status::InvalidArgument("'params.features' must be a number > 0");
-  }
-  request.params.examples = examples->number_value();
-  request.params.features = features->number_value();
-  const double iterations = params->NumberOr("iterations", 1.0);
-  if (iterations < 1.0 || iterations > 1e9) {
-    return Status::InvalidArgument("'params.iterations' must be in [1, 1e9]");
-  }
-  request.params.iterations = static_cast<int>(iterations);
-
-  // Machine type: the paper's private-cluster node unless overridden.
-  request.machine_type = minispark::PaperCluster(1);
-  double machine_gb = 12.0;
-  if (const Json* machine = json.Find("machine"); machine != nullptr) {
-    if (!machine->is_object()) {
-      return Status::InvalidArgument("'machine' must be an object");
-    }
-    machine_gb = machine->NumberOr("machine_gb", machine_gb);
-    if (machine_gb <= 0.0) {
-      return Status::InvalidArgument("'machine.machine_gb' must be > 0");
-    }
-  }
-  request.machine_type.executor_memory_bytes = GiB(machine_gb);
-  return request;
-}
-
-Json ResponseJson(const std::string& app,
-                  const service::RecommendResponse& response) {
-  Json recommendations = Json::Arr();
-  for (const core::Recommendation& r : *response.recommendations) {
-    Json item = Json::Obj();
-    item.Set("schedule_id", Json::Number(r.schedule_id))
-        .Set("plan", Json::Str(r.plan.ToString()))
-        .Set("predicted_bytes", Json::Number(r.predicted_bytes))
-        .Set("machines", Json::Number(r.machines))
-        .Set("predicted_time_ms", Json::Number(r.predicted_time_ms))
-        .Set("predicted_cost_machine_min",
-             Json::Number(r.predicted_cost_machine_min));
-    recommendations.Append(std::move(item));
-  }
-  Json out = Json::Obj();
-  out.Set("app", Json::Str(app))
-      .Set("cache_hit", Json::Bool(response.cache_hit))
-      .Set("model_version",
-           Json::Number(static_cast<double>(response.model_version)))
-      .Set("recommendations", std::move(recommendations));
-  return out;
-}
-
-// ---- Prometheus text exposition --------------------------------------------
-
-void AppendLabelValue(std::string* out, const std::string& value) {
-  for (const char c : value) {
-    if (c == '\\' || c == '"') {
-      out->push_back('\\');
-      out->push_back(c);
-    } else if (c == '\n') {
-      out->append("\\n");
-    } else {
-      out->push_back(c);
-    }
-  }
-}
-
-void AppendCounterValue(std::string* out, uint64_t value) {
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
-  out->append(buffer);
-}
-
-void AppendSample(std::string* out, const char* name, const std::string& app,
-                  const char* extra_labels, double value) {
-  out->append(name);
-  if (!app.empty() || extra_labels[0] != '\0') {
-    out->push_back('{');
-    if (!app.empty()) {
-      out->append("app=\"");
-      AppendLabelValue(out, app);
-      out->push_back('"');
-      if (extra_labels[0] != '\0') out->push_back(',');
-    }
-    out->append(extra_labels);
-    out->push_back('}');
-  }
-  out->push_back(' ');
-  if (value == static_cast<double>(static_cast<uint64_t>(value)) &&
-      value >= 0.0 && value < 9.2e18) {
-    AppendCounterValue(out, static_cast<uint64_t>(value));
-  } else {
-    char buffer[64];
-    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
-    out->append(buffer);
-  }
-  out->push_back('\n');
-}
-
-void AppendHeader(std::string* out, const char* name, const char* type,
-                  const char* help) {
-  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
-  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
-}
-
 }  // namespace
-
-HttpResponse ErrorResponse(const Status& status) {
-  const int http_status = HttpStatusFor(status.code());
-  HttpResponse response =
-      HttpResponse::JsonBody(http_status, ErrorJson(status).Dump());
-  if (http_status == 503) {
-    response.headers.emplace_back("Retry-After", "1");
-  }
-  return response;
-}
 
 HttpRecommendServer::HttpRecommendServer(
     std::shared_ptr<service::ModelRegistry> registry,
@@ -425,6 +243,15 @@ std::string HttpRecommendServer::MetricsText() const {
                "Models registered for serving.");
   AppendSample(&out, "juggler_registry_models", "", "",
                static_cast<double>(registry_->size()));
+  AppendHeader(&out, "juggler_registry_loaded_models", "gauge",
+               "Model artifacts currently resident in memory (equals "
+               "juggler_registry_models unless lazy loading is on).");
+  AppendSample(&out, "juggler_registry_loaded_models", "", "",
+               static_cast<double>(registry_->loaded_models()));
+  AppendHeader(&out, "juggler_registry_evictions_total", "counter",
+               "Models evicted from memory by the LRU/TTL policy.");
+  AppendSample(&out, "juggler_registry_evictions_total", "", "",
+               static_cast<double>(registry_->evictions()));
   AppendHeader(&out, "juggler_model_refresh_errors_total", "counter",
                "Artifacts that failed to load during a registry refresh, by "
                "application (last-good model kept serving).");

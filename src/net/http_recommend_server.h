@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "net/http.h"
 #include "net/http_server.h"
+#include "net/recommend_codec.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 
@@ -76,11 +77,6 @@ class HttpRecommendServer {
   std::shared_ptr<service::RecommendationService> service_;
   HttpServer server_;
 };
-
-/// Maps a Status to the HTTP status code + JSON error body this API uses:
-/// InvalidArgument/OutOfRange -> 400, NotFound -> 404, ResourceExhausted /
-/// FailedPrecondition -> 503 (with Retry-After), everything else -> 500.
-HttpResponse ErrorResponse(const Status& status);
 
 }  // namespace juggler::net
 

@@ -1,0 +1,82 @@
+#ifndef JUGGLER_NET_PROMETHEUS_H_
+#define JUGGLER_NET_PROMETHEUS_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace juggler::net {
+
+/// \brief Tiny Prometheus text-exposition helpers (version 0.0.4), shared by
+/// every /metrics endpoint (standalone HTTP server, cluster router). Header-
+/// only: each function is a handful of appends.
+
+/// Escapes a label value per the exposition format ('\\', '"', newline).
+inline void AppendLabelValue(std::string* out, const std::string& value) {
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (c == '\n') {
+      out->append("\\n");
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+inline void AppendCounterValue(std::string* out, uint64_t value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  out->append(buffer);
+}
+
+/// One sample line: `name{label_name="label",extra} value`. `label_name` is
+/// the key used for the optional first label (e.g. "app" or "shard");
+/// `extra_labels` is raw pre-rendered text (e.g. `quantile="0.5"`).
+inline void AppendLabeledSample(std::string* out, const char* name,
+                                const char* label_name,
+                                const std::string& label,
+                                const char* extra_labels, double value) {
+  out->append(name);
+  if (!label.empty() || extra_labels[0] != '\0') {
+    out->push_back('{');
+    if (!label.empty()) {
+      out->append(label_name);
+      out->append("=\"");
+      AppendLabelValue(out, label);
+      out->push_back('"');
+      if (extra_labels[0] != '\0') out->push_back(',');
+    }
+    out->append(extra_labels);
+    out->push_back('}');
+  }
+  out->push_back(' ');
+  if (value == static_cast<double>(static_cast<uint64_t>(value)) &&
+      value >= 0.0 && value < 9.2e18) {
+    AppendCounterValue(out, static_cast<uint64_t>(value));
+  } else {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+    out->append(buffer);
+  }
+  out->push_back('\n');
+}
+
+/// The historical signature: first label is always `app`.
+inline void AppendSample(std::string* out, const char* name,
+                         const std::string& app, const char* extra_labels,
+                         double value) {
+  AppendLabeledSample(out, name, "app", app, extra_labels, value);
+}
+
+inline void AppendHeader(std::string* out, const char* name, const char* type,
+                         const char* help) {
+  out->append("# HELP ").append(name).append(" ").append(help).append("\n");
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+}  // namespace juggler::net
+
+#endif  // JUGGLER_NET_PROMETHEUS_H_

@@ -1,0 +1,162 @@
+#include "net/recommend_codec.h"
+
+#include <utility>
+
+#include "common/units.h"
+#include "minispark/cluster.h"
+
+namespace juggler::net {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kAborted:
+      return "ABORTED";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+StatusCode CodeFromName(const std::string& name) {
+  if (name == "OK") return StatusCode::kOk;
+  if (name == "INVALID_ARGUMENT") return StatusCode::kInvalidArgument;
+  if (name == "NOT_FOUND") return StatusCode::kNotFound;
+  if (name == "OUT_OF_RANGE") return StatusCode::kOutOfRange;
+  if (name == "FAILED_PRECONDITION") return StatusCode::kFailedPrecondition;
+  if (name == "RESOURCE_EXHAUSTED") return StatusCode::kResourceExhausted;
+  if (name == "ABORTED") return StatusCode::kAborted;
+  return StatusCode::kInternal;
+}
+
+int HttpStatusFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kFailedPrecondition:
+      return 503;  // Transient: full queue / not ready. Retry with backoff.
+    default:
+      return 500;
+  }
+}
+
+Json ErrorJson(const Status& status) {
+  Json error = Json::Obj();
+  error.Set("code", Json::Str(CodeName(status.code())))
+      .Set("message", Json::Str(status.message()));
+  return Json::Obj().Set("error", std::move(error));
+}
+
+Status StatusFromErrorJson(const std::string& payload) {
+  auto json = Json::Parse(payload);
+  if (json.ok() && json->is_object()) {
+    if (const Json* error = json->Find("error");
+        error != nullptr && error->is_object()) {
+      const StatusCode code = CodeFromName(error->StringOr("code", ""));
+      const std::string message = error->StringOr("message", "");
+      if (code != StatusCode::kOk && !message.empty()) {
+        return Status(code, message);
+      }
+    }
+  }
+  return Status::Internal("malformed error payload: " + payload);
+}
+
+StatusOr<service::RecommendRequest> ParseRecommendRequest(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  service::RecommendRequest request;
+  const Json* app = json.Find("app");
+  if (app == nullptr || !app->is_string() || app->string_value().empty()) {
+    return Status::InvalidArgument("missing required string field 'app'");
+  }
+  request.app = app->string_value();
+
+  const Json* params = json.Find("params");
+  if (params == nullptr || !params->is_object()) {
+    return Status::InvalidArgument("missing required object field 'params'");
+  }
+  const Json* examples = params->Find("examples");
+  const Json* features = params->Find("features");
+  if (examples == nullptr || !examples->is_number() ||
+      examples->number_value() <= 0.0) {
+    return Status::InvalidArgument("'params.examples' must be a number > 0");
+  }
+  if (features == nullptr || !features->is_number() ||
+      features->number_value() <= 0.0) {
+    return Status::InvalidArgument("'params.features' must be a number > 0");
+  }
+  request.params.examples = examples->number_value();
+  request.params.features = features->number_value();
+  const double iterations = params->NumberOr("iterations", 1.0);
+  if (iterations < 1.0 || iterations > 1e9) {
+    return Status::InvalidArgument("'params.iterations' must be in [1, 1e9]");
+  }
+  request.params.iterations = static_cast<int>(iterations);
+
+  // Machine type: the paper's private-cluster node unless overridden.
+  request.machine_type = minispark::PaperCluster(1);
+  double machine_gb = 12.0;
+  if (const Json* machine = json.Find("machine"); machine != nullptr) {
+    if (!machine->is_object()) {
+      return Status::InvalidArgument("'machine' must be an object");
+    }
+    machine_gb = machine->NumberOr("machine_gb", machine_gb);
+    if (machine_gb <= 0.0) {
+      return Status::InvalidArgument("'machine.machine_gb' must be > 0");
+    }
+  }
+  request.machine_type.executor_memory_bytes = GiB(machine_gb);
+  return request;
+}
+
+Json ResponseJson(const std::string& app,
+                  const service::RecommendResponse& response) {
+  Json recommendations = Json::Arr();
+  for (const core::Recommendation& r : *response.recommendations) {
+    Json item = Json::Obj();
+    item.Set("schedule_id", Json::Number(r.schedule_id))
+        .Set("plan", Json::Str(r.plan.ToString()))
+        .Set("predicted_bytes", Json::Number(r.predicted_bytes))
+        .Set("machines", Json::Number(r.machines))
+        .Set("predicted_time_ms", Json::Number(r.predicted_time_ms))
+        .Set("predicted_cost_machine_min",
+             Json::Number(r.predicted_cost_machine_min));
+    recommendations.Append(std::move(item));
+  }
+  Json out = Json::Obj();
+  out.Set("app", Json::Str(app))
+      .Set("cache_hit", Json::Bool(response.cache_hit))
+      .Set("model_version",
+           Json::Number(static_cast<double>(response.model_version)))
+      .Set("recommendations", std::move(recommendations));
+  return out;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  const int http_status = HttpStatusFor(status.code());
+  HttpResponse response =
+      HttpResponse::JsonBody(http_status, ErrorJson(status).Dump());
+  if (http_status == 503) {
+    response.headers.emplace_back("Retry-After", "1");
+  }
+  return response;
+}
+
+}  // namespace juggler::net

@@ -1,0 +1,55 @@
+#ifndef JUGGLER_NET_RECOMMEND_CODEC_H_
+#define JUGGLER_NET_RECOMMEND_CODEC_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "net/http.h"
+#include "net/json.h"
+#include "service/recommendation_service.h"
+
+namespace juggler::net {
+
+/// \brief The recommend API's JSON wire codec, shared by every edge that
+/// speaks it: the HTTP front end (http_recommend_server), the RPC shard
+/// backends (cluster::ShardServer) and the router (cluster::Router). One
+/// parser, one serializer — a router can forward a shard's reply verbatim
+/// because both ends agree on these exact shapes.
+
+/// Canonical name of a status code ("INVALID_ARGUMENT", ...).
+const char* CodeName(StatusCode code);
+
+/// Inverse of CodeName(); kInternal for anything unrecognized (an unknown
+/// code crossing the wire must still fail closed).
+StatusCode CodeFromName(const std::string& name);
+
+/// HTTP status for a Status code: InvalidArgument/OutOfRange -> 400,
+/// NotFound -> 404, ResourceExhausted/FailedPrecondition -> 503,
+/// everything else -> 500.
+int HttpStatusFor(StatusCode code);
+
+/// {"error":{"code":"...","message":"..."}}
+Json ErrorJson(const Status& status);
+
+/// Reconstructs a Status from an ErrorJson() document (the payload of a
+/// kError RPC frame). Malformed documents become kInternal with the raw
+/// payload quoted, so a corrupt shard reply is never mistaken for success.
+Status StatusFromErrorJson(const std::string& payload);
+
+/// Decodes the HTTP/RPC wire format into a service request:
+///   {"app":"svm","params":{"examples":N,"features":N,"iterations":N},
+///    "machine":{"machine_gb":G}}           // machine optional
+StatusOr<service::RecommendRequest> ParseRecommendRequest(const Json& json);
+
+/// Serializes one recommend response (app echo, cache_hit, model_version,
+/// recommendations array).
+Json ResponseJson(const std::string& app,
+                  const service::RecommendResponse& response);
+
+/// Maps a Status to the HTTP response the API uses (HttpStatusFor + JSON
+/// error body; 503 carries Retry-After).
+HttpResponse ErrorResponse(const Status& status);
+
+}  // namespace juggler::net
+
+#endif  // JUGGLER_NET_RECOMMEND_CODEC_H_

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -91,6 +92,76 @@ StatusOr<int> AcceptNonBlocking(int listen_fd) {
     // server error; report "nothing to accept".
     if (errno == ECONNABORTED) return -1;
     return Errno("accept");
+  }
+}
+
+StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                         int timeout_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not a numeric IPv4 address: " + host);
+  }
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0 && errno != EINPROGRESS) {
+    const Status status =
+        Errno("connect " + host + ":" + std::to_string(port));
+    CloseFd(fd);
+    return status;
+  }
+  if (rc != 0) {
+    // Non-blocking connect in flight: writability signals the outcome.
+    auto ready = WaitFd(fd, /*want_write=*/true, timeout_ms);
+    if (!ready.ok()) {
+      CloseFd(fd);
+      return ready.status();
+    }
+    if (!*ready) {
+      CloseFd(fd);
+      return Status::Aborted("connect " + host + ":" + std::to_string(port) +
+                             " timed out after " + std::to_string(timeout_ms) +
+                             " ms");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      CloseFd(fd);
+      return Status::Internal("connect " + host + ":" +
+                              std::to_string(port) + ": " +
+                              std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  SetTcpNoDelay(fd);
+  return fd;
+}
+
+StatusOr<bool> WaitFd(int fd, bool want_write, int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = want_write ? POLLOUT : POLLIN;
+  for (;;) {
+    const int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("poll");
+    }
+    if (n == 0) return false;  // Timeout.
+    if ((pfd.revents & (POLLERR | POLLNVAL)) != 0) {
+      return Status::Internal("fd error while waiting for " +
+                              std::string(want_write ? "write" : "read"));
+    }
+    // POLLHUP with POLLIN still delivers the buffered bytes + EOF; report
+    // ready and let the read observe the close.
+    return true;
   }
 }
 

@@ -35,6 +35,17 @@ void SetTcpNoDelay(int fd);
 /// real failures.
 [[nodiscard]] StatusOr<int> AcceptNonBlocking(int listen_fd);
 
+/// Dials `host:port` (numeric IPv4) and waits up to `timeout_ms` for the
+/// connect to complete. Returns a connected non-blocking, close-on-exec
+/// socket with TCP_NODELAY set. Aborted on timeout, Internal on refusal.
+[[nodiscard]] StatusOr<int> ConnectTcp(const std::string& host, uint16_t port,
+                                       int timeout_ms);
+
+/// Blocks up to `timeout_ms` for `fd` to become readable (`want_write` ==
+/// false) or writable (true). Returns true when ready, false on timeout; an
+/// error Status when the descriptor is in an error state.
+[[nodiscard]] StatusOr<bool> WaitFd(int fd, bool want_write, int timeout_ms);
+
 /// Reads into `buffer`. Returns bytes read, 0 on orderly peer shutdown, -1
 /// when the socket has no data right now (EAGAIN); error Status otherwise.
 [[nodiscard]] StatusOr<int> ReadSome(int fd, char* buffer, size_t size);

@@ -1,0 +1,136 @@
+#include "rpc/frame.h"
+
+#include <cstring>
+
+namespace juggler::rpc {
+
+namespace {
+
+void AppendU16(std::string* out, uint16_t value) {
+  out->push_back(static_cast<char>(value >> 8));
+  out->push_back(static_cast<char>(value & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t value) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((value >> shift) & 0xff));
+  }
+}
+
+uint16_t ReadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>((static_cast<uint16_t>(b[0]) << 8) | b[1]);
+}
+
+uint32_t ReadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) value = (value << 8) | b[i];
+  return value;
+}
+
+uint64_t ReadU64(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) value = (value << 8) | b[i];
+  return value;
+}
+
+}  // namespace
+
+bool IsKnownFrameType(uint8_t value) {
+  return value >= static_cast<uint8_t>(FrameType::kPing) &&
+         value <= static_cast<uint8_t>(FrameType::kError);
+}
+
+void AppendFrame(const RpcFrame& frame, std::string* out) {
+  out->reserve(out->size() + kFrameHeaderBytes + frame.payload.size());
+  out->append(kFrameMagic, sizeof(kFrameMagic));
+  out->push_back(static_cast<char>(kProtocolVersion));
+  out->push_back(static_cast<char>(frame.type));
+  AppendU16(out, 0);  // Reserved.
+  AppendU64(out, frame.request_id);
+  AppendU32(out, static_cast<uint32_t>(frame.payload.size()));
+  out->append(frame.payload);
+}
+
+std::string EncodeFrame(const RpcFrame& frame) {
+  std::string out;
+  AppendFrame(frame, &out);
+  return out;
+}
+
+FrameDecoder::Result FrameDecoder::Fail(std::string detail) {
+  failed_ = true;
+  failed_detail_ = detail;
+  buffer_.clear();  // Framing is lost; drop whatever was buffered.
+  Result result;
+  result.state = State::kError;
+  result.error_detail = std::move(detail);
+  return result;
+}
+
+FrameDecoder::Result FrameDecoder::Next() {
+  if (failed_) {
+    Result result;
+    result.state = State::kError;
+    result.error_detail = failed_detail_;
+    return result;
+  }
+  if (buffer_.size() < kFrameHeaderBytes) {
+    // Even a truncated header can be pre-checked: the magic must match from
+    // byte 0, so a stream that opens with garbage fails before the rest of
+    // the "header" ever arrives.
+    const size_t have = buffer_.size() < sizeof(kFrameMagic)
+                            ? buffer_.size()
+                            : sizeof(kFrameMagic);
+    if (std::memcmp(buffer_.data(), kFrameMagic, have) != 0) {
+      return Fail("bad frame magic (not a JRPC stream)");
+    }
+    return Result{};  // kNeedMore
+  }
+
+  const char* header = buffer_.data();
+  if (std::memcmp(header, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return Fail("bad frame magic (not a JRPC stream)");
+  }
+  const auto version = static_cast<uint8_t>(header[4]);
+  if (version != kProtocolVersion) {
+    return Fail("unsupported protocol version " + std::to_string(version));
+  }
+  const auto type = static_cast<uint8_t>(header[5]);
+  if (!IsKnownFrameType(type)) {
+    return Fail("unknown frame type " + std::to_string(type));
+  }
+  if (ReadU16(header + 6) != 0) {
+    return Fail("reserved header bytes must be zero");
+  }
+  const uint64_t payload_len = ReadU32(header + 16);
+  if (payload_len > limits_.max_payload_bytes) {
+    // Checked from the header alone — before a single payload byte is
+    // buffered — so an announced flood is rejected, not stored.
+    return Fail("payload of " + std::to_string(payload_len) +
+                " bytes exceeds limit of " +
+                std::to_string(limits_.max_payload_bytes));
+  }
+  if (buffer_.size() < kFrameHeaderBytes + payload_len) {
+    return Result{};  // kNeedMore
+  }
+
+  Result result;
+  result.state = State::kReady;
+  result.frame.type = static_cast<FrameType>(type);
+  result.frame.request_id = ReadU64(header + 8);
+  result.frame.payload =
+      buffer_.substr(kFrameHeaderBytes, static_cast<size_t>(payload_len));
+  buffer_.erase(0, kFrameHeaderBytes + static_cast<size_t>(payload_len));
+  return result;
+}
+
+}  // namespace juggler::rpc

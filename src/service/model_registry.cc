@@ -13,7 +13,11 @@ namespace juggler::service {
 namespace fs = std::filesystem;
 
 ModelRegistry::ModelRegistry(std::string directory)
+    : ModelRegistry(std::move(directory), Options()) {}
+
+ModelRegistry::ModelRegistry(std::string directory, Options options)
     : directory_(std::move(directory)),
+      options_(options),
       snapshot_(std::make_shared<const Snapshot>()) {}
 
 Status ModelRegistry::Refresh() {
@@ -64,6 +68,7 @@ Status ModelRegistry::Refresh() {
     } else {
       failed_apps.push_back(path.stem().string());
     }
+    artifact.placeholder = artifact.model == nullptr;
     next_snapshot->artifacts.emplace(path.string(), std::move(artifact));
   };
   for (const fs::path& path : paths) {
@@ -89,15 +94,23 @@ Status ModelRegistry::Refresh() {
     if (old_it != previous->artifacts.end() &&
         old_it->second.mtime_ns == artifact.mtime_ns &&
         old_it->second.file_size == artifact.file_size) {
-      if (old_it->second.model == nullptr) {
+      if (old_it->second.placeholder) {
         // A remembered never-parsed failure, file untouched: carry the
         // placeholder, nothing to serve and nothing new to report.
+        artifact.placeholder = true;
         next->artifacts.emplace(path.string(), std::move(artifact));
         continue;
       }
       artifact.app = old_it->second.app;
       artifact.model = old_it->second.model;
       ++refresh.reused;
+    } else if (options_.lazy_load) {
+      // Lazy: register by stem without opening the file. A changed
+      // fingerprint counts as "parsed" for version-bump purposes (readers
+      // must not serve the stale loaded copy), even though the real parse
+      // happens on first Resolve().
+      artifact.app = path.stem().string();
+      ++refresh.parsed;
     } else {
       std::ifstream in(path);
       if (!in) {
@@ -125,7 +138,8 @@ Status ModelRegistry::Refresh() {
   for (const auto& [path, artifact] : previous->artifacts) {
     // Placeholders never served anything; their disappearance is not a
     // change worth a version bump.
-    if (artifact.model == nullptr) continue;
+    if (artifact.placeholder) continue;
+    if (artifact.model == nullptr && !options_.lazy_load) continue;
     if (next->artifacts.find(path) == next->artifacts.end()) ++refresh.removed;
   }
 
@@ -145,6 +159,23 @@ Status ModelRegistry::Refresh() {
   // version-keyed caches stay warm.
   last_refresh_ = refresh;
   for (const std::string& app : failed_apps) ++refresh_errors_[app];
+  if (options_.lazy_load) {
+    // Drop loaded copies whose backing file changed or vanished; the next
+    // Resolve() re-parses against the published snapshot. Not counted as
+    // evictions — that counter is the LRU/TTL memory policy only.
+    for (auto it = loaded_.begin(); it != loaded_.end();) {
+      const std::string path =
+          (fs::path(directory_) / (it->first + kModelSuffix)).string();
+      const auto art = snapshot_->artifacts.find(path);
+      if (art == snapshot_->artifacts.end() || art->second.placeholder ||
+          art->second.mtime_ns != it->second.mtime_ns ||
+          art->second.file_size != it->second.file_size) {
+        it = loaded_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -183,7 +214,86 @@ StatusOr<ModelRegistry::Resolved> ModelRegistry::Resolve(
     return Status::NotFound("no model for app '" + app + "' (known: " +
                             (known.empty() ? "<none>" : known) + ")");
   }
+  if (it->second == nullptr) return ResolveLazy(app, snapshot);
   return Resolved{it->second, snapshot->version};
+}
+
+StatusOr<ModelRegistry::Resolved> ModelRegistry::ResolveLazy(
+    const std::string& app,
+    const std::shared_ptr<const Snapshot>& snapshot) const {
+  const std::string path =
+      (fs::path(directory_) / (app + kModelSuffix)).string();
+  const auto art = snapshot->artifacts.find(path);
+  if (art == snapshot->artifacts.end()) {
+    return Status::NotFound("no artifact on disk for app '" + app + "'");
+  }
+  const auto now = std::chrono::steady_clock::now();
+  {
+    MutexLock lock(mu_);
+    EnforceLimitsLocked(now);
+    const auto loaded = loaded_.find(app);
+    if (loaded != loaded_.end() &&
+        loaded->second.mtime_ns == art->second.mtime_ns &&
+        loaded->second.file_size == art->second.file_size) {
+      loaded->second.last_use = now;
+      return Resolved{loaded->second.model, snapshot->version};
+    }
+  }
+
+  // Parse outside the lock — artifact reads are milliseconds, lookups must
+  // not stall behind them. Two threads racing on the same cold app both
+  // parse; the second insert wins nothing but wastes only its own time.
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot read model artifact: " + path);
+  }
+  auto trained = core::LoadTrainedJuggler(in);
+  if (!trained.ok()) {
+    return Status(trained.status().code(),
+                  path + ": " + trained.status().message());
+  }
+  if (trained->app_name() != app) {
+    return Status::FailedPrecondition(
+        "artifact " + path + " declares app '" + trained->app_name() +
+        "' but lazy loading requires the file stem to match");
+  }
+  LoadedModel entry;
+  entry.model = std::make_shared<const core::TrainedJuggler>(
+      std::move(trained).value());
+  entry.mtime_ns = art->second.mtime_ns;
+  entry.file_size = art->second.file_size;
+  entry.last_use = now;
+  auto model = entry.model;
+
+  MutexLock lock(mu_);
+  loaded_[app] = std::move(entry);
+  EnforceLimitsLocked(now);
+  return Resolved{std::move(model), snapshot->version};
+}
+
+void ModelRegistry::EnforceLimitsLocked(
+    std::chrono::steady_clock::time_point now) const {
+  if (options_.ttl_ms > 0) {
+    const auto ttl = std::chrono::milliseconds(options_.ttl_ms);
+    for (auto it = loaded_.begin(); it != loaded_.end();) {
+      if (now - it->second.last_use > ttl) {
+        it = loaded_.erase(it);
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (options_.max_loaded > 0) {
+    while (loaded_.size() > options_.max_loaded) {
+      auto victim = loaded_.begin();
+      for (auto it = loaded_.begin(); it != loaded_.end(); ++it) {
+        if (it->second.last_use < victim->second.last_use) victim = it;
+      }
+      loaded_.erase(victim);
+      ++evictions_;
+    }
+  }
 }
 
 std::vector<std::string> ModelRegistry::AppNames() const {
@@ -197,5 +307,16 @@ std::vector<std::string> ModelRegistry::AppNames() const {
 uint64_t ModelRegistry::version() const { return CurrentSnapshot()->version; }
 
 size_t ModelRegistry::size() const { return CurrentSnapshot()->models.size(); }
+
+size_t ModelRegistry::loaded_models() const {
+  if (!options_.lazy_load) return size();
+  MutexLock lock(mu_);
+  return loaded_.size();
+}
+
+uint64_t ModelRegistry::evictions() const {
+  MutexLock lock(mu_);
+  return evictions_;
+}
 
 }  // namespace juggler::service

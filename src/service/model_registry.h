@@ -1,6 +1,7 @@
 #ifndef JUGGLER_SERVICE_MODEL_REGISTRY_H_
 #define JUGGLER_SERVICE_MODEL_REGISTRY_H_
 
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -51,7 +52,26 @@ class ModelRegistry {
   /// File-name suffix of artifacts the registry scans for.
   static constexpr const char* kModelSuffix = ".model";
 
+  /// Memory policy. Defaults reproduce the original eager behavior exactly:
+  /// every artifact parsed at Refresh(), nothing ever evicted.
+  struct Options {
+    /// Lazy mode: Refresh() registers artifacts by file stem without opening
+    /// them; Resolve() parses on first use and caches the result. Requires
+    /// the `<app>.model` naming convention (the trainer's default) — an
+    /// artifact whose declared app differs from its stem fails to resolve.
+    /// This is what lets a cluster shard own a slice of a large model
+    /// directory: consistent hashing steers each app to one shard, so each
+    /// shard only ever pays for the models it is actually asked about.
+    bool lazy_load = false;
+    /// Lazy mode: max models resident at once (0 = unlimited). The least-
+    /// recently-used model beyond this is evicted.
+    size_t max_loaded = 0;
+    /// Lazy mode: evict models idle longer than this (0 = disabled).
+    int64_t ttl_ms = 0;
+  };
+
   explicit ModelRegistry(std::string directory);
+  ModelRegistry(std::string directory, Options options);
 
   /// Re-scans the directory. See the class comment for atomicity and
   /// incrementality semantics. A missing or unreadable directory is NotFound.
@@ -102,16 +122,27 @@ class ModelRegistry {
 
   size_t size() const;
 
+  /// Models currently resident in memory: equals size() in eager mode, the
+  /// loaded-cache population in lazy mode.
+  size_t loaded_models() const EXCLUDES(mu_);
+
+  /// Cumulative models evicted by the LRU/TTL policy since construction.
+  uint64_t evictions() const EXCLUDES(mu_);
+
   const std::string& directory() const { return directory_; }
 
  private:
   /// One loaded artifact plus the on-disk fingerprint it was parsed from.
   /// An unchanged fingerprint on the next scan reuses `model` untouched.
+  /// In lazy mode `model` stays null (registered, loaded on demand);
+  /// `placeholder` marks a file that failed to stat/parse with no last-good
+  /// model to keep serving.
   struct Artifact {
     std::string app;
     std::shared_ptr<const core::TrainedJuggler> model;
     int64_t mtime_ns = 0;
     uint64_t file_size = 0;
+    bool placeholder = false;
   };
 
   struct Snapshot {
@@ -122,13 +153,35 @@ class ModelRegistry {
     std::map<std::string, std::shared_ptr<const core::TrainedJuggler>> models;
   };
 
+  /// A lazily loaded model plus the fingerprint of the file it came from
+  /// (stale fingerprints force a re-parse) and its recency for LRU/TTL.
+  struct LoadedModel {
+    std::shared_ptr<const core::TrainedJuggler> model;
+    int64_t mtime_ns = 0;
+    uint64_t file_size = 0;
+    std::chrono::steady_clock::time_point last_use;
+  };
+
   std::shared_ptr<const Snapshot> CurrentSnapshot() const EXCLUDES(mu_);
 
+  /// The lazy-mode Resolve path: loaded-cache hit or parse-on-miss.
+  StatusOr<Resolved> ResolveLazy(const std::string& app,
+                                 const std::shared_ptr<const Snapshot>&
+                                     snapshot) const EXCLUDES(mu_);
+
+  /// Applies the TTL sweep then the LRU cap; bumps `evictions_` per model.
+  void EnforceLimitsLocked(std::chrono::steady_clock::time_point now) const
+      REQUIRES(mu_);
+
   const std::string directory_;
+  const Options options_;
   mutable Mutex mu_;  ///< Guards the snapshot pointer swap + refresh stats.
   std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
   RefreshStats last_refresh_ GUARDED_BY(mu_);
   std::map<std::string, uint64_t> refresh_errors_ GUARDED_BY(mu_);
+  /// Lazy mode only: app -> parsed model, bounded by max_loaded/ttl_ms.
+  mutable std::map<std::string, LoadedModel> loaded_ GUARDED_BY(mu_);
+  mutable uint64_t evictions_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace juggler::service

@@ -64,5 +64,7 @@ TEST(CorpusReplayTest, RecommendServer) {
   ReplayAll("recommend_server", RunRecommendServer);
 }
 
+TEST(CorpusReplayTest, RpcFrame) { ReplayAll("rpc_frame", RunRpcFrame); }
+
 }  // namespace
 }  // namespace juggler::fuzz

@@ -226,9 +226,134 @@ TEST(HttpParserTest, RejectsMalformedRequests) {
   EXPECT_EQ(error_status("GET / HTTP/1.1\r\nContent-Length: 1\r\n"
                          "Content-Length: 2\r\n\r\n"),
             400);
+  // Non-chunked codings change framing in ways we do not implement: 501.
   EXPECT_EQ(
-      error_status("POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+      error_status("POST / HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n"),
       501);
+  EXPECT_EQ(error_status("POST / HTTP/1.1\r\n"
+                         "Transfer-Encoding: gzip, chunked\r\n\r\n"),
+            501);
+  // TE + Content-Length together is the classic smuggling vector: 400.
+  EXPECT_EQ(error_status("POST / HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n"
+                         "Content-Length: 4\r\n\r\n"),
+            400);
+  EXPECT_EQ(error_status("POST / HTTP/1.1\r\n"
+                         "Transfer-Encoding: chunked\r\n"
+                         "Transfer-Encoding: chunked\r\n\r\n"),
+            400);
+}
+
+TEST(HttpParserTest, DecodesChunkedBody) {
+  HttpParser parser{HttpParser::Limits{}};
+  const auto result = Feed(&parser,
+                           "POST /v1/recommend HTTP/1.1\r\n"
+                           "Transfer-Encoding: chunked\r\n"
+                           "\r\n"
+                           "4\r\nWiki\r\n"
+                           "5\r\npedia\r\n"
+                           "0\r\n"
+                           "\r\n");
+  ASSERT_EQ(result.state, HttpParser::State::kReady);
+  EXPECT_EQ(result.request.body, "Wikipedia");
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(HttpParserTest, ChunkedHandlesExtensionsCaseAndTrailers) {
+  HttpParser parser{HttpParser::Limits{}};
+  const auto result = Feed(&parser,
+                           "POST / HTTP/1.1\r\n"
+                           "transfer-encoding: CHUNKED\r\n"
+                           "\r\n"
+                           "A;name=value\r\n0123456789\r\n"
+                           "0\r\n"
+                           "X-Trailer: ignored\r\n"
+                           "\r\n");
+  ASSERT_EQ(result.state, HttpParser::State::kReady);
+  EXPECT_EQ(result.request.body, "0123456789");
+  EXPECT_EQ(result.request.FindHeader("X-Trailer"), nullptr)
+      << "trailers are discarded, not promoted to headers";
+}
+
+TEST(HttpParserTest, ChunkedAccumulatesAcrossArbitrarySplits) {
+  const std::string wire =
+      "POST / HTTP/1.1\r\n"
+      "Transfer-Encoding: chunked\r\n"
+      "\r\n"
+      "3\r\nabc\r\n"
+      "1\r\nd\r\n"
+      "0\r\n\r\n";
+  HttpParser parser{HttpParser::Limits{}};
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    const auto partial = Feed(&parser, wire.substr(i, 1));
+    ASSERT_EQ(partial.state, HttpParser::State::kNeedMore)
+        << "after " << (i + 1) << " bytes";
+  }
+  const auto result = Feed(&parser, wire.substr(wire.size() - 1));
+  ASSERT_EQ(result.state, HttpParser::State::kReady);
+  EXPECT_EQ(result.request.body, "abcd");
+  // A pipelined request after the chunked one still comes out cleanly.
+  const auto next = Feed(&parser, "GET /after HTTP/1.1\r\n\r\n");
+  ASSERT_EQ(next.state, HttpParser::State::kReady);
+  EXPECT_EQ(next.request.target, "/after");
+}
+
+TEST(HttpParserTest, ChunkedRejectsMalformedFraming) {
+  const auto error_status = [](const std::string& bodywire) {
+    HttpParser parser{HttpParser::Limits{}};
+    const auto result =
+        Feed(&parser, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n" +
+                          bodywire);
+    return result.state == HttpParser::State::kError ? result.error_status : 0;
+  };
+  EXPECT_EQ(error_status("zz\r\nab\r\n0\r\n\r\n"), 400);  // Junk size.
+  EXPECT_EQ(error_status("\r\nab\r\n0\r\n\r\n"), 400);    // Empty size.
+  EXPECT_EQ(error_status("-4\r\nabcd\r\n0\r\n\r\n"), 400);
+  EXPECT_EQ(error_status("4\r\nabcdXX0\r\n\r\n"), 400);  // Missing CRLF.
+  EXPECT_EQ(error_status("2\r\nab\r\n0\r\nno colon trailer\r\n\r\n"), 400);
+  // 17 hex digits cannot be a size we would ever accept.
+  EXPECT_EQ(error_status(std::string(17, '1') + "\r\n"), 400);
+}
+
+TEST(HttpParserTest, ChunkedEnforcesBodyLimits) {
+  HttpParser::Limits limits;
+  limits.max_body_bytes = 16;
+
+  {
+    // Declared chunk beyond the cap: 413 from the size line alone, before
+    // any chunk byte arrives.
+    HttpParser parser{limits};
+    const auto result =
+        Feed(&parser,
+             "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n11\r\n");
+    ASSERT_EQ(result.state, HttpParser::State::kError);
+    EXPECT_EQ(result.error_status, 413);
+  }
+  {
+    // Chunks individually under the cap but cumulatively over it.
+    HttpParser parser{limits};
+    const auto result = Feed(&parser,
+                             "POST / HTTP/1.1\r\n"
+                             "Transfer-Encoding: chunked\r\n\r\n"
+                             "9\r\n012345678\r\n"
+                             "9\r\n012345678\r\n");
+    ASSERT_EQ(result.state, HttpParser::State::kError);
+    EXPECT_EQ(result.error_status, 413);
+  }
+  {
+    // An encoded stream that never completes (a size line dribbling chunk
+    // extensions forever) must trip the encoded cap rather than buffer
+    // indefinitely below the server's flood guard.
+    HttpParser parser{limits};
+    HttpParser::Result result = Feed(
+        &parser, "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n1;");
+    for (int i = 0; i < 4096 && result.state == HttpParser::State::kNeedMore;
+         ++i) {
+      result = Feed(&parser, std::string(64, 'x'));
+    }
+    ASSERT_EQ(result.state, HttpParser::State::kError);
+    EXPECT_EQ(result.error_status, 413);
+  }
 }
 
 TEST(HttpParserTest, EnforcesSizeLimits) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <filesystem>
@@ -255,6 +256,145 @@ TEST(ModelRegistryTest, MissingDirectoryIsNotFound) {
   ModelRegistry registry(
       (fs::path(testing::TempDir()) / "no_such_dir_xyz").string());
   EXPECT_EQ(registry.Refresh().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------------------
+// ModelRegistry: lazy loading + LRU/TTL eviction (cluster-shard memory mode)
+
+TEST(ModelRegistryTest, LazyModeDefersParsingUntilFirstResolve) {
+  const fs::path dir = MakeModelDir("lazy_defer");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  ModelRegistry registry(dir.string(), options);
+  ASSERT_TRUE(registry.Refresh().ok());
+  // Registered by stem, nothing parsed into memory yet.
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.AppNames(), (std::vector<std::string>{"pca", "svm"}));
+  EXPECT_EQ(registry.loaded_models(), 0u);
+
+  auto svm = registry.Lookup("svm");
+  ASSERT_TRUE(svm.ok()) << svm.status().ToString();
+  EXPECT_EQ((*svm)->app_name(), "svm");
+  EXPECT_EQ(registry.loaded_models(), 1u) << "only the resolved model loads";
+
+  // A second resolve is a cache hit: same parsed object.
+  auto again = registry.Lookup("svm");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(svm->get(), again->get()) << "resolve must not re-parse";
+  EXPECT_EQ(registry.evictions(), 0u);
+}
+
+TEST(ModelRegistryTest, LazyLruEvictsBeyondMaxLoaded) {
+  const fs::path dir = MakeModelDir("lazy_lru");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+  SaveModel(TrainSmall("lor"), dir / "lor.model");
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  options.max_loaded = 2;
+  ModelRegistry registry(dir.string(), options);
+  ASSERT_TRUE(registry.Refresh().ok());
+
+  ASSERT_TRUE(registry.Lookup("svm").ok());
+  ASSERT_TRUE(registry.Lookup("pca").ok());
+  EXPECT_EQ(registry.loaded_models(), 2u);
+  EXPECT_EQ(registry.evictions(), 0u);
+
+  // Touch svm so pca is the least recently used, then load a third model.
+  ASSERT_TRUE(registry.Lookup("svm").ok());
+  ASSERT_TRUE(registry.Lookup("lor").ok());
+  EXPECT_EQ(registry.loaded_models(), 2u) << "the cap must hold";
+  EXPECT_EQ(registry.evictions(), 1u);
+
+  // The evicted model still resolves — it just pays a re-parse.
+  auto pca = registry.Lookup("pca");
+  ASSERT_TRUE(pca.ok()) << pca.status().ToString();
+  EXPECT_EQ((*pca)->app_name(), "pca");
+  EXPECT_EQ(registry.evictions(), 2u) << "loading pca evicted another model";
+}
+
+TEST(ModelRegistryTest, LazyTtlEvictsIdleModels) {
+  const fs::path dir = MakeModelDir("lazy_ttl");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  SaveModel(TrainSmall("pca"), dir / "pca.model");
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  options.ttl_ms = 50;
+  ModelRegistry registry(dir.string(), options);
+  ASSERT_TRUE(registry.Refresh().ok());
+
+  ASSERT_TRUE(registry.Lookup("svm").ok());
+  EXPECT_EQ(registry.loaded_models(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  // The sweep runs on the resolve path; this load finds svm expired.
+  ASSERT_TRUE(registry.Lookup("pca").ok());
+  EXPECT_EQ(registry.loaded_models(), 1u) << "expired svm must be gone";
+  EXPECT_GE(registry.evictions(), 1u);
+}
+
+TEST(ModelRegistryTest, LazyRejectsArtifactWhoseAppDiffersFromStem) {
+  const fs::path dir = MakeModelDir("lazy_stem");
+  // The file claims app "svm" but is named "other.model": lazy mode
+  // registers by stem, so the declared name must match at load time.
+  SaveModel(TrainSmall("svm"), dir / "other.model");
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  ModelRegistry registry(dir.string(), options);
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.AppNames(), (std::vector<std::string>{"other"}));
+
+  auto resolved = registry.Lookup("other");
+  EXPECT_EQ(resolved.status().code(), StatusCode::kFailedPrecondition)
+      << resolved.status().ToString();
+  EXPECT_EQ(registry.loaded_models(), 0u)
+      << "a mismatched artifact must not be cached";
+}
+
+TEST(ModelRegistryTest, LazyMalformedArtifactFailsResolveNotRefresh) {
+  const fs::path dir = MakeModelDir("lazy_malformed");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+  std::ofstream(dir / "broken.model") << "this is not a model artifact\n";
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  ModelRegistry registry(dir.string(), options);
+  // Lazy refresh never opens the files, so the broken one registers fine.
+  ASSERT_TRUE(registry.Refresh().ok());
+  EXPECT_EQ(registry.size(), 2u);
+
+  EXPECT_FALSE(registry.Lookup("broken").ok());
+  auto svm = registry.Lookup("svm");
+  EXPECT_TRUE(svm.ok()) << "one broken artifact must not affect the others";
+}
+
+TEST(ModelRegistryTest, LazyReloadPicksUpChangedArtifacts) {
+  const fs::path dir = MakeModelDir("lazy_reload");
+  SaveModel(TrainSmall("svm"), dir / "svm.model");
+
+  ModelRegistry::Options options;
+  options.lazy_load = true;
+  ModelRegistry registry(dir.string(), options);
+  ASSERT_TRUE(registry.Refresh().ok());
+  auto before = registry.Lookup("svm");
+  ASSERT_TRUE(before.ok());
+
+  // Rewrite the artifact with different bytes (more training iterations) and
+  // force a fingerprint change even on coarse filesystem clocks.
+  SaveModel(TrainSmall("svm", /*iterations=*/7), dir / "svm.model");
+  const auto stamp = fs::last_write_time(dir / "svm.model");
+  fs::last_write_time(dir / "svm.model", stamp + std::chrono::seconds(2));
+  ASSERT_TRUE(registry.Refresh().ok());
+
+  auto after = registry.Lookup("svm");
+  ASSERT_TRUE(after.ok());
+  EXPECT_NE(before->get(), after->get())
+      << "a changed file must be re-parsed, not served from the stale cache";
 }
 
 // ---------------------------------------------------------------------------
