@@ -3,13 +3,15 @@
 // the socket + parse + route layers on top of the serving tier that
 // bench_service_throughput measures in isolation.
 //
-//   bench_http_server [clients] [requests-per-client] [model-dir]
+//   bench_http_server [clients] [requests-per-client] [model-dir] [out-json]
 //
 // Defaults: 32 clients x 500 requests against a warm prediction cache (the
 // paper's recurring-application scenario, where /v1/recommend answers on the
 // event-loop fast path). Without a model-dir, the five paper workloads are
 // trained into a temporary registry directory first (shared with
 // bench_service_throughput, so the second bench run reuses the artifacts).
+// Results are persisted to BENCH_http.json (same flat-JSON trajectory format
+// as bench_cluster's BENCH_cluster.json) so CI can track them across commits.
 // Acceptance: >= 5000 req/s warm-cache at 32 clients (skipped under
 // sanitizers, which instrument every atomic on the path).
 
@@ -179,10 +181,13 @@ int main(int argc, char** argv) {
   const fs::path model_dir =
       argc > 3 ? fs::path(argv[3])
                : fs::temp_directory_path() / "juggler_bench_registry";
+  const fs::path output_json =
+      argc > 4 ? fs::path(argv[4]) : fs::path("BENCH_http.json");
   if (clients <= 0 || requests_per_client <= 0) {
-    std::fprintf(stderr,
-                 "usage: %s [clients] [requests-per-client] [model-dir]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [clients] [requests-per-client] [model-dir] [out-json]\n",
+        argv[0]);
     return 2;
   }
 
@@ -275,6 +280,30 @@ int main(int argc, char** argv) {
   table.AddRow({"latency p95",
                 TablePrinter::Num(stats.latency.p95_us) + " us"});
   table.Print(std::cout);
+
+  // Persisted perf trajectory: one flat JSON document per run (the same
+  // shape bench_cluster writes to BENCH_cluster.json).
+  {
+    std::ofstream out(output_json);
+    char json[512];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"http\",\"clients\":%d,\"requests\":%llu,"
+                  "\"errors\":%llu,\"rejected\":%llu,\"req_per_s\":%.1f,"
+                  "\"fast_path\":%llu,\"cache_hit_rate\":%.4f,"
+                  "\"p50_us\":%.1f,\"p95_us\":%.1f}\n",
+                  clients, static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(errors.load()),
+                  static_cast<unsigned long long>(rejected.load()), qps,
+                  static_cast<unsigned long long>(http.fast_path),
+                  stats.cache.HitRate(), stats.latency.p50_us,
+                  stats.latency.p95_us);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", output_json.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", output_json.c_str());
+  }
 
   server.Stop();
 

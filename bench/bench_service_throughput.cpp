@@ -4,12 +4,14 @@
 // application scenario implies but never measures.
 //
 //   bench_service_throughput [clients] [requests-per-client] [model-dir]
+//                            [out-json]
 //
 // Defaults: 8 clients x 1000 requests. Without a model-dir, the five paper
 // workloads are trained into a temporary registry directory first (small
 // training grids; the bench measures serving, not training). Also reports
 // the warm-cache-hit vs. uncached-model-evaluation speedup (acceptance:
-// >= 10x).
+// >= 10x). Results are persisted to BENCH_service.json (the same flat-JSON
+// trajectory format as bench_cluster's BENCH_cluster.json).
 
 #include <atomic>
 #include <chrono>
@@ -102,10 +104,13 @@ int main(int argc, char** argv) {
   const fs::path model_dir =
       argc > 3 ? fs::path(argv[3])
                : fs::temp_directory_path() / "juggler_bench_registry";
+  const fs::path output_json =
+      argc > 4 ? fs::path(argv[4]) : fs::path("BENCH_service.json");
   if (clients <= 0 || requests_per_client <= 0) {
-    std::fprintf(stderr,
-                 "usage: %s [clients] [requests-per-client] [model-dir]\n",
-                 argv[0]);
+    std::fprintf(
+        stderr,
+        "usage: %s [clients] [requests-per-client] [model-dir] [out-json]\n",
+        argv[0]);
     return 2;
   }
 
@@ -249,6 +254,29 @@ int main(int argc, char** argv) {
   std::printf("hit vs uncached path:   %8.1fx (acceptance: >= 10x)\n",
               speedup);
   std::printf("hit vs bare evaluation: %8.1fx\n", eval_us / warm_us);
+
+  // Persisted perf trajectory: one flat JSON document per run (the same
+  // shape bench_cluster writes to BENCH_cluster.json).
+  {
+    std::ofstream out(output_json);
+    char json[512];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"service\",\"clients\":%d,\"requests\":%llu,"
+                  "\"errors\":%llu,\"qps\":%.1f,\"cache_hit_rate\":%.4f,"
+                  "\"p50_us\":%.1f,\"p95_us\":%.1f,\"warm_hit_us\":%.3f,"
+                  "\"uncached_us\":%.3f,\"speedup\":%.1f}\n",
+                  clients, static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(errors.load()),
+                  total / elapsed_s, stats.cache.HitRate(),
+                  stats.latency.p50_us, stats.latency.p95_us, warm_us,
+                  miss_us, speedup);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", output_json.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", output_json.c_str());
+  }
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
   // Sanitizer builds exist to catch races, not to measure time: instrumented
   // mutexes/atomics dominate both paths, so the ratio is meaningless.

@@ -48,6 +48,10 @@ StatusOr<std::unique_ptr<Router>> Router::Create(const Options& options) {
   return router;
 }
 
+Router::Shard::Shard()
+    : pool_mu(lockdiag::RegisterLockClass("cluster.Router.shard_pool",
+                                          lockdiag::kRankCluster)) {}
+
 Router::Router(const Options& options)
     : options_(options),
       ring_(options.shards.size(),
@@ -68,8 +72,15 @@ void Router::Stop() {
   if (prober_.joinable()) prober_.join();
   started_.store(false);
   for (auto& shard : shards_) {
-    MutexLock lock(shard->pool_mu);
-    shard->pool.clear();
+    // Swap the pool out and let the RpcClient destructors run close() after
+    // the lock is released: destroying connections is a syscall, and holding
+    // pool_mu across it would stall a concurrent checkout (and trip the
+    // blocking-under-lock discipline this file advertises).
+    std::vector<std::unique_ptr<rpc::RpcClient>> drained;
+    {
+      MutexLock lock(shard->pool_mu);
+      drained.swap(shard->pool);
+    }
   }
 }
 
@@ -449,6 +460,8 @@ std::string RouterHttpServer::MetricsText() const {
                     "HTTP protocol errors (400/413/501).");
   net::AppendSample(&out, "juggler_http_parse_errors_total", "", "",
                     static_cast<double>(http.parse_errors));
+
+  net::AppendLockMetrics(&out);
   return out;
 }
 

@@ -110,6 +110,7 @@ class Router {
 
  private:
   struct Shard {
+    Shard();
     std::string address;
     std::string host;
     uint16_t port = 0;
@@ -117,7 +118,10 @@ class Router {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> errors{0};
     service::LatencyHistogram latency;
-    Mutex pool_mu;
+    /// Lock class "cluster.Router.shard_pool" (rank cluster=14): guards only
+    /// the checkout/return vector. RpcClient Dial/Call/close all happen with
+    /// the lock released (the `blocking-under-lock` lint rule enforces this).
+    Mutex pool_mu ACQUIRED_AFTER(lockdiag::kRpcOrder);
     std::vector<std::unique_ptr<rpc::RpcClient>> pool GUARDED_BY(pool_mu);
   };
 

@@ -288,6 +288,8 @@ std::string HttpRecommendServer::MetricsText() const {
                "Connections closed by the idle sweeper.");
   AppendSample(&out, "juggler_http_idle_closed_total", "", "",
                static_cast<double>(http.idle_closed));
+
+  AppendLockMetrics(&out);
   return out;
 }
 

@@ -38,7 +38,9 @@ HttpServer::HttpServer(const Options& options, Handler handler,
                        FastHandler fast_handler)
     : options_(options),
       handler_(std::move(handler)),
-      fast_handler_(std::move(fast_handler)) {}
+      fast_handler_(std::move(fast_handler)),
+      mu_(lockdiag::RegisterLockClass("net.HttpServer.completions",
+                                      lockdiag::kRankNet)) {}
 
 HttpServer::~HttpServer() { Stop(); }
 

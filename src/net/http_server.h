@@ -169,7 +169,11 @@ class HttpServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
 
-  mutable Mutex mu_;
+  /// Lock class "net.HttpServer.completions" (rank net=10): the outermost
+  /// layer of the lock order — pool workers take it *after* releasing every
+  /// service-layer lock (the handler has fully returned), and the loop
+  /// thread holds it only to swap the vector.
+  mutable Mutex mu_ ACQUIRED_BEFORE(lockdiag::kServiceOrder);
   std::vector<Completion> completions_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> accepted_{0};

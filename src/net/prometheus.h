@@ -5,6 +5,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <string>
+#include <vector>
+
+#include "common/lock_diag.h"
 
 namespace juggler::net {
 
@@ -75,6 +78,44 @@ inline void AppendHeader(std::string* out, const char* name, const char* type,
                          const char* help) {
   out->append("# HELP ").append(name).append(" ").append(help).append("\n");
   out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+/// Per-mutex lock pressure (common/lock_diag.h), one `lock="<class>"` series
+/// per registered lock class. Shared by every /metrics endpoint so lock
+/// contention is observable wherever a Mutex is named.
+inline void AppendLockMetrics(std::string* out) {
+  const std::vector<lockdiag::LockStats> locks = lockdiag::SnapshotLockStats();
+  if (locks.empty()) return;
+  AppendHeader(out, "juggler_lock_acquisitions_total", "counter",
+               "Mutex acquisitions, by lock class.");
+  for (const auto& l : locks) {
+    AppendLabeledSample(out, "juggler_lock_acquisitions_total", "lock", l.name,
+                        "", static_cast<double>(l.acquisitions));
+  }
+  AppendHeader(out, "juggler_lock_contended_total", "counter",
+               "Mutex acquisitions that had to block, by lock class.");
+  for (const auto& l : locks) {
+    AppendLabeledSample(out, "juggler_lock_contended_total", "lock", l.name,
+                        "", static_cast<double>(l.contended));
+  }
+  AppendHeader(out, "juggler_lock_wait_seconds_total", "counter",
+               "Total time spent blocked acquiring, by lock class.");
+  for (const auto& l : locks) {
+    AppendLabeledSample(out, "juggler_lock_wait_seconds_total", "lock", l.name,
+                        "", static_cast<double>(l.wait_ns) * 1e-9);
+  }
+  AppendHeader(out, "juggler_lock_hold_seconds_total", "counter",
+               "Total time the lock was held, by lock class.");
+  for (const auto& l : locks) {
+    AppendLabeledSample(out, "juggler_lock_hold_seconds_total", "lock", l.name,
+                        "", static_cast<double>(l.hold_ns) * 1e-9);
+  }
+  AppendHeader(out, "juggler_lock_hold_seconds_max", "gauge",
+               "Longest single hold observed, by lock class.");
+  for (const auto& l : locks) {
+    AppendLabeledSample(out, "juggler_lock_hold_seconds_max", "lock", l.name,
+                        "", static_cast<double>(l.max_hold_ns) * 1e-9);
+  }
 }
 
 }  // namespace juggler::net

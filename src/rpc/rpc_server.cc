@@ -28,7 +28,10 @@ size_t ReadPauseThreshold(const FrameDecoder::Limits& limits) {
 }  // namespace
 
 RpcServer::RpcServer(const Options& options, Handler handler)
-    : options_(options), handler_(std::move(handler)) {}
+    : options_(options),
+      handler_(std::move(handler)),
+      mu_(lockdiag::RegisterLockClass("rpc.RpcServer.completions",
+                                      lockdiag::kRankRpc)) {}
 
 RpcServer::~RpcServer() { Stop(); }
 

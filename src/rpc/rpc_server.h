@@ -142,7 +142,10 @@ class RpcServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stop_{false};
 
-  mutable Mutex mu_;
+  /// Lock class "rpc.RpcServer.completions" (rank rpc=12): same role as
+  /// net.HttpServer.completions — taken by pool workers only after the
+  /// handler released all service-layer locks, swapped by the loop thread.
+  mutable Mutex mu_ ACQUIRED_BEFORE(lockdiag::kServiceOrder);
   std::vector<Completion> completions_ GUARDED_BY(mu_);
 
   std::atomic<uint64_t> accepted_{0};

@@ -18,6 +18,8 @@ ModelRegistry::ModelRegistry(std::string directory)
 ModelRegistry::ModelRegistry(std::string directory, Options options)
     : directory_(std::move(directory)),
       options_(options),
+      mu_(lockdiag::RegisterLockClass("service.ModelRegistry.mu",
+                                      lockdiag::kRankRegistry)),
       snapshot_(std::make_shared<const Snapshot>()) {}
 
 Status ModelRegistry::Refresh() {

@@ -175,7 +175,12 @@ class ModelRegistry {
 
   const std::string directory_;
   const Options options_;
-  mutable Mutex mu_;  ///< Guards the snapshot pointer swap + refresh stats.
+  /// Guards the snapshot pointer swap + refresh stats. Lock class
+  /// "service.ModelRegistry.mu" (rank registry=30): artifact parsing happens
+  /// *outside* this lock by design (Refresh builds the snapshot first, then
+  /// swaps; ResolveLazy parses unlocked and re-checks).
+  mutable Mutex mu_ ACQUIRED_AFTER(lockdiag::kServiceOrder)
+      ACQUIRED_BEFORE(lockdiag::kCacheOrder);
   std::shared_ptr<const Snapshot> snapshot_ GUARDED_BY(mu_);
   RefreshStats last_refresh_ GUARDED_BY(mu_);
   std::map<std::string, uint64_t> refresh_errors_ GUARDED_BY(mu_);

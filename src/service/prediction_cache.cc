@@ -24,6 +24,10 @@ void AppendInt(std::string* out, int64_t v) { AppendRaw(out, &v, sizeof(v)); }
 
 }  // namespace
 
+PredictionCache::Shard::Shard()
+    : mu(lockdiag::RegisterLockClass("service.PredictionCache.shard",
+                                     lockdiag::kRankCache)) {}
+
 PredictionCache::PredictionCache(const Options& options) {
   const int num_shards = std::max(1, options.num_shards);
   per_shard_capacity_ =

@@ -85,7 +85,11 @@ class PredictionCache {
 
  private:
   struct Shard {
-    Mutex mu;
+    Shard();
+    /// Lock class "service.PredictionCache.shard" (rank cache=40): the
+    /// innermost lock of the serving stack. Shards are only ever locked one
+    /// at a time (Clear/GetStats iterate sequentially, never nested).
+    Mutex mu ACQUIRED_AFTER(lockdiag::kRegistryOrder);
     /// Most recent at the front; each node owns (key, value).
     std::list<std::pair<std::string, Value>> lru GUARDED_BY(mu);
     std::unordered_map<std::string,

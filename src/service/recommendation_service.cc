@@ -30,7 +30,9 @@ RecommendationService::RecommendationService(
       options_(options),
       cache_(std::make_unique<PredictionCache>(options.cache)),
       pool_(std::make_unique<ThreadPool>(ThreadPool::Options{
-          options.num_workers, options.queue_capacity})) {}
+          options.num_workers, options.queue_capacity})),
+      apps_mu_(lockdiag::RegisterLockClass(
+          "service.RecommendationService.apps", lockdiag::kRankService)) {}
 
 RecommendationService::~RecommendationService() {
   // Join workers while the metrics/cache members they touch are still alive.

@@ -167,7 +167,10 @@ class RecommendationService {
   std::atomic<uint64_t> evaluations_{0};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> deadline_shed_{0};
-  mutable Mutex apps_mu_;
+  /// Lock class "service.RecommendationService.apps" (rank service=20):
+  /// held only for map-node creation, a pure in-memory operation.
+  mutable Mutex apps_mu_ ACQUIRED_AFTER(lockdiag::kNetOrder)
+      ACQUIRED_BEFORE(lockdiag::kRegistryOrder);
   /// unique_ptr nodes: map rehash/rebalance never moves an AppCounters.
   std::map<std::string, std::unique_ptr<AppCounters>> app_counters_
       GUARDED_BY(apps_mu_);

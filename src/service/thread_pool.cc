@@ -6,7 +6,9 @@
 namespace juggler::service {
 
 ThreadPool::ThreadPool(const Options& options)
-    : queue_capacity_(std::max<size_t>(1, options.queue_capacity)) {
+    : queue_capacity_(std::max<size_t>(1, options.queue_capacity)),
+      mu_(lockdiag::RegisterLockClass("service.ThreadPool.mu",
+                                      lockdiag::kRankService)) {
   const int n = std::max(1, options.num_threads);
   workers_.reserve(n);
   for (int i = 0; i < n; ++i) {

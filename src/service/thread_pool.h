@@ -49,7 +49,10 @@ class ThreadPool {
   void WorkerLoop() EXCLUDES(mu_);
 
   const size_t queue_capacity_;
-  mutable Mutex mu_;
+  /// Lock class "service.ThreadPool.mu" (rank service=20): leaf within the
+  /// service layer — never held across a blocking call or another lock.
+  mutable Mutex mu_ ACQUIRED_AFTER(lockdiag::kNetOrder)
+      ACQUIRED_BEFORE(lockdiag::kRegistryOrder);
   CondVar work_available_;
   std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
   bool shutdown_ GUARDED_BY(mu_) = false;

@@ -337,6 +337,14 @@ TEST(RouterTest, AppsAndReloadAndMetricsRoutes) {
             std::string::npos);
   EXPECT_NE(metrics.body.find("juggler_router_healthy_shards"),
             std::string::npos);
+  // Lock-pressure series: the router's shard pools are named lock classes,
+  // so their counters must surface here.
+  EXPECT_NE(metrics.body.find("juggler_lock_acquisitions_total{lock="
+                              "\"cluster.Router.shard_pool\"}"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("juggler_lock_hold_seconds_total"),
+            std::string::npos);
 
   const auto missing = f.http->Handle(MakeRequest("GET", "/nope"));
   EXPECT_EQ(missing.status, 404);

@@ -593,6 +593,20 @@ TEST(HttpRecommendServerTest, MetricsExposePerAppSeries) {
             std::string::npos);
   EXPECT_NE(text.find("# TYPE juggler_prediction_cache_size gauge\n"),
             std::string::npos);
+  // Lock-pressure series from common/lock_diag.h: the service stack's named
+  // mutexes (registry, cache shards, thread pool) report acquisitions and
+  // hold time per lock class.
+  EXPECT_NE(text.find("juggler_lock_acquisitions_total{lock="
+                      "\"service.ModelRegistry.mu\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("juggler_lock_acquisitions_total{lock="
+                      "\"service.PredictionCache.shard\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE juggler_lock_hold_seconds_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE juggler_lock_contended_total counter\n"),
+            std::string::npos);
 }
 
 }  // namespace

@@ -303,6 +303,145 @@ TEST(LintIncludeGuard, CanonicalGuardDropsSrcPrefixOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// blocking-under-lock
+// ---------------------------------------------------------------------------
+
+TEST(LintBlockingUnderLock, FlagsRpcAndSleepUnderLiveLock) {
+  const std::string bad =
+      "void Foo::Tick() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  auto reply = client->Call(type, payload);\n"
+      "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "}\n";
+  const auto findings = LintFile("src/cluster/foo.cc", bad);
+  EXPECT_EQ(CountRule(findings, "blocking-under-lock"), 2);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintBlockingUnderLock, FlagsResolveOnTheDeclarationLine) {
+  // The lock is live from its declaration onward, including later on the
+  // same line.
+  const std::string bad =
+      "void F() { MutexLock lock(mu_); registry->Resolve(app); }\n";
+  EXPECT_TRUE(HasRule(LintFile("src/service/foo.cc", bad),
+                      "blocking-under-lock"));
+}
+
+TEST(LintBlockingUnderLock, AllowsBlockingAfterScopeCloses) {
+  const std::string good =
+      "void Foo::Tick() {\n"
+      "  {\n"
+      "    MutexLock lock(mu_);\n"
+      "    queue_.push_back(task);\n"
+      "  }\n"
+      "  auto reply = client->Call(type, payload);\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFile("src/cluster/foo.cc", good),
+                       "blocking-under-lock"));
+}
+
+TEST(LintBlockingUnderLock, CondVarWaitIsExemptAndNolintSuppresses) {
+  const std::string wait_ok =
+      "void F() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  while (!done_) cv_.Wait(mu_);\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.cc", wait_ok),
+                       "blocking-under-lock"));
+  const std::string suppressed =
+      "void F() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  Resolve(app);  // NOLINT(blocking-under-lock): startup only\n"
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.cc", suppressed),
+                       "blocking-under-lock"));
+}
+
+// ---------------------------------------------------------------------------
+// lock-in-destructor
+// ---------------------------------------------------------------------------
+
+TEST(LintLockInDestructor, FlagsMutexLockAndRawLockInDtorBody) {
+  const std::string bad =
+      "Foo::~Foo() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  pool_.clear();\n"
+      "}\n"
+      "Bar::~Bar() { mu_.Lock(); mu_.Unlock(); }\n";
+  const auto findings = LintFile("src/service/foo.cc", bad);
+  EXPECT_EQ(CountRule(findings, "lock-in-destructor"), 2);
+  EXPECT_EQ(findings[0].line, 2);
+  EXPECT_EQ(findings[1].line, 5);
+}
+
+TEST(LintLockInDestructor, AllowsLocksOutsideDtorAndPlainDtors) {
+  const std::string good =
+      "Foo::~Foo() { Stop(); }\n"       // Indirection is the sanctioned form.
+      "~Foo();\n"                        // Declaration only.
+      "virtual ~Bar() = default;\n"
+      "void Foo::Stop() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  pool_.clear();\n"
+      "}\n"
+      "int x = ~Mask(3);\n";             // Bitwise-not expression, not a dtor.
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.cc", good),
+                       "lock-in-destructor"));
+}
+
+TEST(LintLockInDestructor, UnlockInRaiiDtorIsAllowed) {
+  // The RAII guard's own destructor *releases*; "Unlock" must not match the
+  // "Lock" token.
+  const std::string good = "~MutexLock() RELEASE() { mu_.Unlock(); }\n";
+  EXPECT_FALSE(HasRule(LintFile("src/common/foo.h",
+                                "#ifndef JUGGLER_COMMON_FOO_H_\n"
+                                "#define JUGGLER_COMMON_FOO_H_\n" +
+                                    good + "#endif\n"),
+                       "lock-in-destructor"));
+}
+
+// ---------------------------------------------------------------------------
+// condvar-wait-predicate
+// ---------------------------------------------------------------------------
+
+TEST(LintCondvarWait, FlagsBareSingleArgumentWait) {
+  const std::string bad =
+      "void F() {\n"
+      "  MutexLock lock(mu_);\n"
+      "  cv_.Wait(mu_);\n"
+      "}\n"
+      "void G(std::unique_lock<std::mutex>& lk) {\n"
+      "  cv.wait(lk);\n"
+      "}\n";
+  const auto findings = LintFile("tests/foo_test.cc", bad);
+  EXPECT_EQ(CountRule(findings, "condvar-wait-predicate"), 2);
+  EXPECT_EQ(findings[0].line, 3);
+}
+
+TEST(LintCondvarWait, AllowsGuardedPredicateAndMultiArgForms) {
+  const std::string good =
+      "while (!shutdown_ && queue_.empty()) work_available_.Wait(mu_);\n"
+      "cv.wait(lock, [&] { return ready; });\n"
+      "poller_->Wait(kLoopTickMs, &events);\n"  // Two args: not a cv wait.
+      "future.wait();\n"                         // Zero args: a join.
+      "while (!done_) {\n"
+      "  cv_.Wait(mu_);\n"                       // Loop two lines above.
+      "}\n";
+  EXPECT_FALSE(HasRule(LintFile("src/service/foo.cc", good),
+                       "condvar-wait-predicate"));
+}
+
+TEST(LintCondvarWait, DeclarationsDoNotTrip) {
+  const std::string good =
+      "void Wait(Mutex& mu) REQUIRES(mu);\n"
+      "Status Wait(int timeout_ms);\n";
+  EXPECT_FALSE(HasRule(LintFile("src/common/foo.h",
+                                "#ifndef JUGGLER_COMMON_FOO_H_\n"
+                                "#define JUGGLER_COMMON_FOO_H_\n" +
+                                    good + "#endif\n"),
+                       "condvar-wait-predicate"));
+}
+
+// ---------------------------------------------------------------------------
 // Formatting and the real tree
 // ---------------------------------------------------------------------------
 

@@ -325,6 +325,221 @@ void CheckUnannotatedMutex(const LineCtx& ctx,
   }
 }
 
+/// Extracts the identifier starting at `pos` (which must be an identifier
+/// start position) and returns one-past-its-end.
+size_t IdentEnd(const std::string& line, size_t pos) {
+  size_t end = pos;
+  while (end < line.size() && IsIdentChar(line[end])) ++end;
+  return end;
+}
+
+/// True when an identifier token starts at `pos` (boundary on the left).
+bool IsIdentStart(const std::string& line, size_t pos) {
+  return IsIdentChar(line[pos]) && (pos == 0 || !IsIdentChar(line[pos - 1]));
+}
+
+void CheckBlockingUnderLock(const LineCtx& ctx,
+                            const std::vector<std::string>& code) {
+  // Everything here either parks the thread (sleep family), performs I/O
+  // that can block indefinitely (syscalls, streams), or is a repo entry
+  // point that does one of those internally (RPC Call / registry Resolve /
+  // Refresh do file or network I/O). Holding a MutexLock across any of them
+  // turns every other thread that wants the lock into a hostage of the slow
+  // operation — and under the lock-rank discipline it is also how lock-order
+  // cycles sneak in. CondVar::Wait is deliberately NOT here: it releases
+  // the mutex while blocked, which is the whole point of a condvar.
+  static const char* const kBanned[] = {
+      // Thread parking.
+      "sleep", "usleep", "nanosleep", "sleep_for", "sleep_until",
+      // Blocking syscalls (poll/select/connect/accept/recv/send family).
+      "poll", "select", "epoll_wait", "connect", "accept", "accept4",
+      "recv", "recvfrom", "recvmsg", "send", "sendto", "sendmsg",
+      "fsync", "fdatasync", "system", "popen",
+      // File I/O entry points.
+      "fopen", "ifstream", "ofstream", "fstream",
+      // Repo blocking entry points: RPC round-trips and registry file I/O.
+      "Call", "CallAny", "Broadcast", "Dial", "Resolve", "Lookup", "Refresh",
+      "ForwardRecommend",
+  };
+  const auto is_banned = [](const std::string& ident) {
+    for (const char* token : kBanned) {
+      if (ident == token) return true;
+    }
+    return false;
+  };
+
+  int depth = 0;
+  std::vector<int> lock_depths;  // Brace depth at each live MutexLock.
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    bool flagged_this_line = false;
+    for (size_t pos = 0; pos < line.size(); ++pos) {
+      const char c = line[pos];
+      if (c == '{') {
+        ++depth;
+      } else if (c == '}') {
+        --depth;
+        while (!lock_depths.empty() && lock_depths.back() > depth) {
+          lock_depths.pop_back();
+        }
+      } else if (IsIdentStart(line, pos)) {
+        const size_t end = IdentEnd(line, pos);
+        const std::string ident = line.substr(pos, end - pos);
+        if (ident == "MutexLock") {
+          lock_depths.push_back(depth);
+        } else if (!lock_depths.empty() && !flagged_this_line &&
+                   is_banned(ident)) {
+          ctx.Add(i, "blocking-under-lock",
+                  "'" + ident +
+                      "' while a MutexLock is live in this scope: blocking "
+                      "calls (sleep/syscall/RPC/Resolve/file I/O) must run "
+                      "with the lock released — copy state out, unlock, then "
+                      "block (escape: NOLINT(blocking-under-lock))");
+          flagged_this_line = true;
+        }
+        pos = end - 1;
+      }
+    }
+  }
+}
+
+void CheckLockInDestructor(const LineCtx& ctx,
+                           const std::vector<std::string>& code) {
+  // A destructor that takes a lock is a lifetime bug factory: destruction
+  // order is the one place C++ runs code after "no more references" was
+  // decided, so the lock (or what it guards) may already be gone, and a
+  // static-destruction-order unlock can outlive the diagnostics runtime.
+  // Destructors should hand off to an explicit Stop()/Shutdown() that the
+  // owner calls while everything is alive (the repo's servers all do).
+  static const char* const kBanned[] = {
+      "MutexLock", "Lock",        "TryLock",
+      "lock_guard", "unique_lock", "scoped_lock",
+  };
+  const auto is_banned = [](const std::string& ident) {
+    for (const char* token : kBanned) {
+      if (ident == token) return true;
+    }
+    return false;
+  };
+
+  enum class Mode { kScan, kAwaitBody, kInDtor };
+  Mode mode = Mode::kScan;
+  int depth = 0;       // Brace depth, tracked everywhere.
+  int body_depth = 0;  // Depth of the destructor body while kInDtor.
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (size_t pos = 0; pos < line.size(); ++pos) {
+      const char c = line[pos];
+      if (c == '{') {
+        ++depth;
+        if (mode == Mode::kAwaitBody) {
+          mode = Mode::kInDtor;
+          body_depth = depth;
+        }
+        continue;
+      }
+      if (c == '}') {
+        --depth;
+        if (mode == Mode::kInDtor && depth < body_depth) mode = Mode::kScan;
+        continue;
+      }
+      if (mode == Mode::kAwaitBody) {
+        // Between "~Name(" and its body: a ';' first means this was only a
+        // declaration (~Foo();, = default;) or an expression — not a body.
+        if (c == ';') mode = Mode::kScan;
+        continue;
+      }
+      if (c == '~' && pos + 1 < line.size() && IsIdentChar(line[pos + 1])) {
+        // "~Name" followed (after optional spaces) by '(' on the same line:
+        // destructor-shaped. Whether it has a body is decided by what comes
+        // first afterwards, '{' (definition) or ';' (declaration/expr).
+        const size_t end = IdentEnd(line, pos + 1);
+        size_t after = end;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after < line.size() && line[after] == '(') {
+          mode = Mode::kAwaitBody;
+          pos = after;  // Continue scanning after the '('.
+        }
+        continue;
+      }
+      if (mode == Mode::kInDtor && IsIdentStart(line, pos)) {
+        const size_t end = IdentEnd(line, pos);
+        const std::string ident = line.substr(pos, end - pos);
+        if (is_banned(ident)) {
+          ctx.Add(i, "lock-in-destructor",
+                  "'" + ident +
+                      "' inside a destructor: destructors must not acquire "
+                      "locks (destruction races the last unlock; move the "
+                      "locking into an explicit Stop()/Shutdown() the owner "
+                      "calls first; escape: NOLINT(lock-in-destructor))");
+        }
+        pos = end - 1;
+      }
+    }
+  }
+}
+
+void CheckCondvarWaitPredicate(const LineCtx& ctx,
+                               const std::vector<std::string>& code) {
+  // A condvar wait without a guarding loop is wrong twice over: spurious
+  // wakeups are allowed by the standard, and a notify can land between the
+  // condition check and the wait. Callers must either pass a predicate
+  // (std::condition_variable::wait(lock, pred)) or wrap the repo's
+  // CondVar::Wait in `while (!cond) cv.Wait(mu);`.
+  static const char* const kWaitNames[] = {"Wait", "wait"};
+  const auto has_loop_keyword = [](const std::string& line) {
+    return HasToken(line, "while") || HasToken(line, "do") ||
+           HasToken(line, "for");
+  };
+  for (size_t i = 0; i < code.size(); ++i) {
+    const std::string& line = code[i];
+    for (const char* name : kWaitNames) {
+      for (size_t pos = FindToken(line, name); pos != std::string::npos;
+           pos = FindToken(line, name, pos + 1)) {
+        // Member-call shape only (`.wait(` / `->Wait(`): skips declarations
+        // and unrelated free functions.
+        if (pos == 0 || (line[pos - 1] != '.' && line[pos - 1] != '>')) {
+          continue;
+        }
+        size_t after = pos + std::string(name).size();
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') continue;
+        // Argument text up to the matching ')' (or end of line).
+        int parens = 1;
+        size_t arg_end = after + 1;
+        while (arg_end < line.size() && parens > 0) {
+          if (line[arg_end] == '(') ++parens;
+          if (line[arg_end] == ')') --parens;
+          ++arg_end;
+        }
+        const std::string args =
+            line.substr(after + 1, arg_end - after - (parens == 0 ? 2 : 1));
+        // A comma means a predicate (or a timeout overload) is present; an
+        // empty argument list is not a condvar wait (futures, threads).
+        if (args.find(',') != std::string::npos) continue;
+        if (args.find_first_not_of(' ') == std::string::npos) continue;
+        // Single-argument wait: require a guarding loop on this line or one
+        // of the two preceding non-blank lines.
+        bool guarded = has_loop_keyword(line.substr(0, pos));
+        for (size_t back = i, seen = 0; !guarded && back > 0 && seen < 2;) {
+          --back;
+          if (code[back].find_first_not_of(' ') == std::string::npos) continue;
+          ++seen;
+          guarded = has_loop_keyword(code[back]);
+        }
+        if (!guarded) {
+          ctx.Add(i, "condvar-wait-predicate",
+                  "condition-variable wait with no predicate and no guarding "
+                  "while/do loop in sight: spurious wakeups and lost "
+                  "notifies make an unguarded wait a hang; write `while "
+                  "(!cond) cv.Wait(mu);` or pass a predicate (escape: "
+                  "NOLINT(condvar-wait-predicate))");
+        }
+      }
+    }
+  }
+}
+
 void CheckIncludeGuard(const LineCtx& ctx, const std::vector<std::string>& code,
                        const std::string& rel_path) {
   const std::string want = CanonicalGuard(rel_path);
@@ -416,6 +631,15 @@ std::vector<Finding> LintFile(const std::string& rel_path,
   if (parses_untrusted) CheckUncheckedParse(ctx, code);
   if (in_src && is_header) CheckUnannotatedMutex(ctx, code);
   if (is_header) CheckIncludeGuard(ctx, code, rel_path);
+  // Concurrency-order rules, enforced repo-wide (tests and benches hold the
+  // same locks the library does). The one sanctioned predicate-less wait —
+  // CondVar::Wait's internal cv_.wait — carries a commented NOLINT in
+  // common/mutex.h. `NOLINT(deadlock-order)` is the documented escape for
+  // a deliberate lock-order exception (e.g. the seeded-inversion fixtures
+  // in tests/deadlock_test.cc); like all suppressions it must state why.
+  CheckBlockingUnderLock(ctx, code);
+  CheckLockInDestructor(ctx, code);
+  CheckCondvarWaitPredicate(ctx, code);
   return findings;
 }
 

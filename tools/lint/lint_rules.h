@@ -63,9 +63,28 @@ struct Finding {
 ///    repo uses guards) and include guards that do not match the canonical
 ///    `JUGGLER_<PATH>_H_` form (path minus a leading `src/`, uppercased,
 ///    separators mapped to `_`).
+///  - `blocking-under-lock` — repo-wide — a blocking call (the sleep family,
+///    poll/select/connect/accept/recv/send syscalls, file-stream opens,
+///    `system`/`popen`) or a repo blocking entry point (`Call`, `CallAny`,
+///    `Broadcast`, `Dial`, `Resolve`, `Lookup`, `Refresh`,
+///    `ForwardRecommend`) while a `MutexLock` is live in the same scope.
+///    Copy state out, unlock, then block. `CondVar::Wait` is exempt: it
+///    releases the mutex while blocked.
+///  - `lock-in-destructor` — repo-wide — `MutexLock`, `.Lock()`,
+///    `.TryLock()`, or a std lock adapter inside a destructor body.
+///    Destructors race the last unlock and run during static teardown;
+///    locking belongs in an explicit Stop()/Shutdown() the owner calls.
+///  - `condvar-wait-predicate` — repo-wide — a member-call `wait(x)` /
+///    `Wait(x)` with a single argument, no predicate, and no guarding
+///    `while`/`do`/`for` on the same or the two preceding lines. Spurious
+///    wakeups make an unguarded wait a hang.
 ///
 /// Suppression: a line containing `NOLINT` or `lint:ignore` (typically in a
 /// trailing comment, with the reason) is exempt from line-scoped rules.
+/// Deliberate lock-order exceptions use the documented form
+/// `NOLINT(deadlock-order)` so they can be audited as a class — e.g. the
+/// seeded-inversion fixtures in tests/deadlock_test.cc, which exist to prove
+/// the runtime detector (common/lock_diag.h) fires.
 std::vector<Finding> LintFile(const std::string& rel_path,
                               const std::string& content);
 
