@@ -2,7 +2,15 @@
 // savings vs HiBench, and the number of actual runs needed to amortize the
 // offline training (the paper: 57.8 % average savings, 4 runs to amortize
 // the optimization stages, 43 for prediction).
+//
+// Also the offline entry of the perf-trajectory series: wall-clock fit time
+// per workload is persisted to BENCH_fit.json (same flat-JSON shape as
+// bench_cluster's BENCH_cluster.json) so CI tracks training cost across
+// commits, with in-binary acceptance floors on the replicated savings.
 
+#include <chrono>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 
 #include "bench/bench_common.h"
@@ -10,7 +18,10 @@
 using namespace juggler;        // NOLINT
 using namespace juggler::bench; // NOLINT
 
-int main() {
+int main(int argc, char** argv) {
+  const std::filesystem::path output_json =
+      argc > 1 ? std::filesystem::path(argv[1])
+               : std::filesystem::path("BENCH_fit.json");
   std::printf("=== Figure 16 / Table 5: training cost and general gains ===\n\n");
 
   TablePrinter fig16({"Application", "Hotspot", "Param calib.", "Memory calib.",
@@ -24,9 +35,22 @@ int main() {
   std::vector<std::string> pred_cost_row = {"Prediction training cost"};
   std::vector<std::string> pred_runs_row = {"#Runs to gain (total)"};
   double savings_sum = 0.0;
+  double fit_wall_s = 0.0;
+  double fit_wall_max_s = 0.0;
+  double simulated_cost_sum = 0.0;
+  int workload_count = 0;
 
   for (const auto& w : workloads::AllWorkloads()) {
+    const auto fit_start = std::chrono::steady_clock::now();
     const auto training = TrainOrDie(w);
+    const double fit_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fit_start)
+            .count();
+    fit_wall_s += fit_s;
+    fit_wall_max_s = std::max(fit_wall_max_s, fit_s);
+    simulated_cost_sum += training.costs.Total();
+    ++workload_count;
     const auto& costs = training.costs;
     fig16.AddRow({w.name,
                   TablePrinter::Percent(costs.hotspot / costs.Total(), 1),
@@ -97,5 +121,46 @@ int main() {
                   "see table");
   std::printf("\nNote: most of the training cost comes from building the\n"
               "execution time models, as in the paper (Figure 16).\n");
+
+  const double savings_avg = savings_sum / workload_count;
+  std::printf("\nfit wall clock: %.3f s total, %.3f s slowest workload\n",
+              fit_wall_s, fit_wall_max_s);
+
+  // Persisted perf trajectory: one flat JSON document per run (the same
+  // shape bench_cluster writes to BENCH_cluster.json).
+  {
+    std::ofstream out(output_json);
+    char json[384];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"fit\",\"workloads\":%d,\"fit_wall_s\":%.3f,"
+                  "\"fit_wall_max_s\":%.3f,\"fit_wall_avg_s\":%.3f,"
+                  "\"simulated_cost_machine_min\":%.2f,"
+                  "\"savings_avg\":%.4f}\n",
+                  workload_count, fit_wall_s, fit_wall_max_s,
+                  fit_wall_s / workload_count, simulated_cost_sum,
+                  savings_avg);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", output_json.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", output_json.c_str());
+  }
+
+  // Acceptance floors. These are simulator results (deterministic seeds),
+  // so they hold under sanitizers too — only wall-clock would not.
+  if (workload_count != 5) {
+    std::fprintf(stderr, "FAIL: expected 5 workloads, trained %d\n",
+                 workload_count);
+    return 1;
+  }
+  if (savings_avg < 0.2) {
+    std::fprintf(stderr,
+                 "FAIL: average savings %.1f %% < 20 %% floor (paper: 57.8 "
+                 "%%)\n",
+                 100.0 * savings_avg);
+    return 1;
+  }
+  std::printf("\nOK\n");
   return 0;
 }

@@ -1,0 +1,121 @@
+// Engine throughput — how many simulated tasks per wall-clock second the
+// minispark engine executes. Everything upstream (training grids, sweeps,
+// the serving tier's evaluations) is bounded by this number, so it gets its
+// own perf-trajectory entry: results are persisted to BENCH_sim.json (the
+// same flat-JSON shape as bench_cluster's BENCH_cluster.json), with an
+// in-binary acceptance floor.
+//
+//   bench_sim_throughput [rounds] [out-json]
+//
+// Each round runs every workload's default plan at its paper parameters,
+// instrumented, so the per-run task counts come from the profile the engine
+// actually collected rather than a side calculation.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "bench/bench_common.h"
+
+using namespace juggler;        // NOLINT
+using namespace juggler::bench; // NOLINT
+
+int main(int argc, char** argv) {
+  const int rounds = argc > 1 ? std::atoi(argv[1]) : 5;
+  const std::filesystem::path output_json =
+      argc > 2 ? std::filesystem::path(argv[2])
+               : std::filesystem::path("BENCH_sim.json");
+  if (rounds <= 0) {
+    std::fprintf(stderr, "usage: %s [rounds] [out-json]\n", argv[0]);
+    return 2;
+  }
+
+  std::printf("== Simulation engine throughput ==\n");
+  const auto all = workloads::AllWorkloads();
+
+  minispark::RunOptions options = ActualRunOptions();
+  options.instrument = true;
+
+  // Warmup: one untimed pass (first-touch allocations, page faults).
+  for (const auto& w : all) {
+    minispark::Engine engine(options);
+    auto r = engine.Run(w.make(w.paper_params), minispark::PaperCluster(4),
+                        w.make(w.paper_params).default_plan);
+    if (!r.ok()) {
+      std::fprintf(stderr, "FAIL: warmup run failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  int64_t total_tasks = 0;
+  int64_t total_runs = 0;
+  double simulated_ms = 0.0;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (const auto& w : all) {
+      options.seed = 42 + static_cast<uint64_t>(round);
+      minispark::Engine engine(options);
+      auto r = engine.Run(w.make(w.paper_params), minispark::PaperCluster(4),
+                          w.make(w.paper_params).default_plan);
+      if (!r.ok() || r->profile == nullptr) {
+        std::fprintf(stderr, "FAIL: instrumented run of %s failed\n",
+                     w.name.c_str());
+        return 1;
+      }
+      total_tasks += static_cast<int64_t>(r->profile->tasks().size());
+      simulated_ms += r->duration_ms;
+      ++total_runs;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const double tasks_per_s = static_cast<double>(total_tasks) / elapsed_s;
+  const double runs_per_s = static_cast<double>(total_runs) / elapsed_s;
+  // How much faster than real time the simulation runs: simulated
+  // machine-time executed per wall second.
+  const double time_compression = simulated_ms / 1000.0 / elapsed_s;
+
+  std::printf("%lld runs, %lld simulated tasks in %.3f s\n",
+              static_cast<long long>(total_runs),
+              static_cast<long long>(total_tasks), elapsed_s);
+  std::printf("simulated tasks/s:  %10.0f\n", tasks_per_s);
+  std::printf("runs/s:             %10.1f\n", runs_per_s);
+  std::printf("time compression:   %10.0fx real time\n", time_compression);
+
+  // Persisted perf trajectory: one flat JSON document per run (the same
+  // shape bench_cluster writes to BENCH_cluster.json).
+  {
+    std::ofstream out(output_json);
+    char json[320];
+    std::snprintf(json, sizeof(json),
+                  "{\"bench\":\"sim\",\"rounds\":%d,\"runs\":%lld,"
+                  "\"tasks\":%lld,\"wall_s\":%.3f,\"tasks_per_s\":%.0f,"
+                  "\"runs_per_s\":%.1f,\"time_compression\":%.0f}\n",
+                  rounds, static_cast<long long>(total_runs),
+                  static_cast<long long>(total_tasks), elapsed_s, tasks_per_s,
+                  runs_per_s, time_compression);
+    out << json;
+    if (!out) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", output_json.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", output_json.c_str());
+  }
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+  // Sanitizer builds exist to catch bugs, not to measure time.
+  std::printf("(sanitizer build: tasks/s acceptance check skipped)\n");
+#else
+  if (tasks_per_s < 10000.0) {
+    std::fprintf(stderr, "FAIL: %.0f tasks/s < 10000 acceptance floor\n",
+                 tasks_per_s);
+    return 1;
+  }
+#endif
+  std::printf("\nOK\n");
+  return 0;
+}

@@ -20,6 +20,19 @@
 //                       backpressure; default 0)
 //   --stdin             REPL on stdin instead of the HTTP server
 //
+// Online-adaptation flags (standalone and shard roles):
+//   --online                     run the feedback loop: POST /v1/observe (or
+//                                kObserve frames) feed live outcomes; models
+//                                refit, pass a holdout gate, and republish
+//                                into <model-dir> without a restart
+//   --online-min-records N       refit an app once N observations buffer
+//                                (default 24)
+//   --online-interval-ms N       also refit at most every N ms when at least
+//                                a holdout's worth is buffered (default 2000,
+//                                0=off)
+//   --online-error-threshold X   also refit when observed-vs-predicted mean
+//                                relative error exceeds X (default 0, off)
+//
 // Shard-role flags (lazy model memory policy):
 //   --max-loaded-models N  models resident at once, 0=unlimited (default 0)
 //   --model-ttl-ms N       evict models idle this long, 0=off   (default 0)
@@ -68,6 +81,8 @@
 #include "core/juggler.h"
 #include "core/serialization.h"
 #include "net/http_recommend_server.h"
+#include "online/online_loop.h"
+#include "online/online_metrics.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 #include "workloads/workloads.h"
@@ -106,6 +121,9 @@ int Usage() {
          "[--stdin]\n"
          "                     [--max-loaded-models N] [--model-ttl-ms N]\n"
          "                     [--probe-interval-ms N] [--rpc-timeout-ms N]\n"
+         "                     [--online] [--online-min-records N]\n"
+         "                     [--online-interval-ms N] "
+         "[--online-error-threshold X]\n"
          "stdin commands (with --stdin): <app> <examples> <features> "
          "[iterations] [machine-GB] | reload | stats | apps | quit\n";
   return 2;
@@ -180,7 +198,9 @@ void PrintResponse(const service::RecommendRequest& request,
   TablePrinter table({"Schedule", "Plan", "Cached size", "#Machines",
                       "Pred. time", "Pred. cost (machine min)"});
   for (const auto& r : *response.recommendations) {
-    table.AddRow({"#" + std::to_string(r.schedule_id), r.plan.ToString(),
+    std::string id = "#";
+    id += std::to_string(r.schedule_id);
+    table.AddRow({std::move(id), r.plan.ToString(),
                   FormatBytes(r.predicted_bytes), std::to_string(r.machines),
                   FormatTime(r.predicted_time_ms),
                   TablePrinter::Num(r.predicted_cost_machine_min)});
@@ -295,6 +315,10 @@ int main(int argc, char** argv) {
   int model_ttl_ms = 0;
   int probe_interval_ms = 250;
   int rpc_timeout_ms = 5000;
+  bool online = false;
+  int online_min_records = 24;
+  int online_interval_ms = 2000;
+  double online_error_threshold = 0.0;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -330,6 +354,14 @@ int main(int argc, char** argv) {
       probe_interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--rpc-timeout-ms" && has_value) {
       rpc_timeout_ms = std::atoi(argv[++i]);
+    } else if (arg == "--online") {
+      online = true;
+    } else if (arg == "--online-min-records" && has_value) {
+      online_min_records = std::atoi(argv[++i]);
+    } else if (arg == "--online-interval-ms" && has_value) {
+      online_interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--online-error-threshold" && has_value) {
+      online_error_threshold = std::atof(argv[++i]);
     } else {
       return Usage();
     }
@@ -337,7 +369,14 @@ int main(int argc, char** argv) {
   if (port < 0 || port > 65535 || workers < 1 || queue_capacity < 1 ||
       cache_capacity < 1 || handler_threads < 1 || eval_delay_ms < 0 ||
       max_loaded_models < 0 || model_ttl_ms < 0 || probe_interval_ms < 1 ||
-      rpc_timeout_ms < 1) {
+      rpc_timeout_ms < 1 || online_min_records < 1 || online_interval_ms < 0 ||
+      online_error_threshold < 0.0) {
+    return Usage();
+  }
+  if (online && role == "router") {
+    std::fprintf(stderr,
+                 "--online applies to standalone/shard roles (the router "
+                 "forwards observations, it never refits)\n");
     return Usage();
   }
   if (role != "standalone" && role != "shard" && role != "router") {
@@ -433,6 +472,21 @@ int main(int argc, char** argv) {
   auto svc =
       std::make_shared<service::RecommendationService>(registry, options);
 
+  std::shared_ptr<online::OnlineJuggler> online_loop;
+  if (online) {
+    online::OnlineJuggler::Options online_options;
+    online_options.refit.min_records = static_cast<size_t>(online_min_records);
+    online_options.refit.interval_ms = online_interval_ms;
+    online_options.refit.error_threshold = online_error_threshold;
+    online_loop =
+        std::make_shared<online::OnlineJuggler>(registry, svc, online_options);
+    online_loop->Start();
+    std::printf("online adaptation on: min-records %d | interval %d ms | "
+                "error threshold %g\n",
+                online_min_records, online_interval_ms,
+                online_error_threshold);
+  }
+
   InstallSignalHandlers();
 
   int rc = 0;
@@ -443,6 +497,7 @@ int main(int argc, char** argv) {
     server_options.rpc.host = host;
     server_options.rpc.port = static_cast<uint16_t>(port);
     server_options.rpc.num_handler_threads = handler_threads;
+    server_options.online = online_loop;
     cluster::ShardServer server(registry, svc, server_options);
     if (auto st = server.Start(); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -475,6 +530,7 @@ int main(int argc, char** argv) {
     server_options.http.host = host;
     server_options.http.port = static_cast<uint16_t>(port);
     server_options.http.num_handler_threads = handler_threads;
+    server_options.online = online_loop;
     net::HttpRecommendServer server(registry, svc, server_options);
     if (auto st = server.Start(); !st.ok()) {
       std::fprintf(stderr, "%s\n", st.ToString().c_str());
@@ -500,6 +556,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(http.overload_rejected),
                 static_cast<unsigned long long>(http.parse_errors),
                 static_cast<unsigned long long>(http.idle_closed));
+  }
+  if (online_loop != nullptr) {
+    online_loop->Stop();
+    const online::OnlineStats stats = online::SnapshotOnlineStats();
+    std::printf(
+        "online stats: ingested %llu | dropped %llu | refits attempted %llu "
+        "accepted %llu rejected %llu | rollbacks %llu | model v%llu\n",
+        static_cast<unsigned long long>(stats.records_ingested),
+        static_cast<unsigned long long>(stats.records_dropped),
+        static_cast<unsigned long long>(stats.refits_attempted),
+        static_cast<unsigned long long>(stats.refits_accepted),
+        static_cast<unsigned long long>(stats.refits_rejected),
+        static_cast<unsigned long long>(stats.rollbacks),
+        static_cast<unsigned long long>(stats.active_model_version));
   }
   PrintStats(svc->GetStats(), registry->version(), registry->size());
   return rc;

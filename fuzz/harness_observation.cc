@@ -1,0 +1,64 @@
+#include <cmath>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/harnesses.h"
+#include "online/observation.h"
+
+namespace juggler::fuzz {
+
+int RunObservationDecoder(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  auto decoded = online::DecodeObservationBatch(bytes);
+  if (!decoded.ok()) {
+    JUGGLER_FUZZ_CHECK(!decoded.status().message().empty(),
+                       "decoder errors carry a reason");
+    return 0;
+  }
+
+  // Structural invariants every accepted batch must satisfy: the size math
+  // that the decoder used to pre-validate the count must hold, and every
+  // field must be within the documented bounds (the decoder promises callers
+  // they never see an unbounded app name or a non-finite number).
+  JUGGLER_FUZZ_CHECK(decoded->size() <= online::kMaxObservationsPerBatch,
+                     "batch count respects the cap");
+  size_t expected = online::kObservationBatchHeaderBytes;
+  for (const online::Observation& o : *decoded) {
+    JUGGLER_FUZZ_CHECK(!o.app.empty() && o.app.size() <= online::kMaxAppBytes,
+                       "app length is bounded");
+    JUGGLER_FUZZ_CHECK(std::isfinite(o.params.examples) &&
+                           std::isfinite(o.params.features) &&
+                           std::isfinite(o.value) && std::isfinite(o.predicted),
+                       "decoded numbers are finite");
+    expected += online::kObservationRecordFixedBytes + o.app.size();
+  }
+  JUGGLER_FUZZ_CHECK(expected == size,
+                     "accepted batches are exactly their records");
+
+  // Round-trip oracle (documented on DecodeObservationBatch): an accepted
+  // batch re-encodes to the exact input bytes, and the re-encode decodes to
+  // the same fields. A mismatch means the two codec directions disagree
+  // about the format — the bug class this harness exists to catch.
+  const std::string wire = online::EncodeObservationBatch(*decoded);
+  JUGGLER_FUZZ_CHECK(wire == bytes, "re-encode reproduces the input bytes");
+  auto again = online::DecodeObservationBatch(wire);
+  JUGGLER_FUZZ_CHECK(again.ok(), "re-encoded batches decode");
+  JUGGLER_FUZZ_CHECK(again->size() == decoded->size(),
+                     "round-trip preserves the count");
+  for (size_t i = 0; i < decoded->size(); ++i) {
+    const online::Observation& a = (*decoded)[i];
+    const online::Observation& b = (*again)[i];
+    JUGGLER_FUZZ_CHECK(
+        a.kind == b.kind && a.app == b.app && a.target == b.target &&
+            a.params.examples == b.params.examples &&
+            a.params.features == b.params.features &&
+            a.params.iterations == b.params.iterations &&
+            a.model_version == b.model_version && a.value == b.value &&
+            a.predicted == b.predicted,
+        "round-trip preserves every field");
+  }
+  return 0;
+}
+
+}  // namespace juggler::fuzz

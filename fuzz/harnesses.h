@@ -54,6 +54,14 @@ int RunModelLoader(const uint8_t* data, size_t size);
 /// stay under header + max-payload, and every error carries a reason.
 int RunRpcFrame(const uint8_t* data, size_t size);
 
+/// Feeds the bytes to online::DecodeObservationBatch (the feedback
+/// subsystem's wire format — the same decoder behind both the binary
+/// /v1/observe body and the shard kObserve frame payload). Accepted batches
+/// must satisfy the documented bounds (app length, finite numbers, count
+/// cap, exact size math) and the round-trip oracle: re-encoding reproduces
+/// the input bytes, and the re-encode decodes to identical fields.
+int RunObservationDecoder(const uint8_t* data, size_t size);
+
 /// End-to-end: the bytes are a client byte stream, parsed by HttpParser (an
 /// in-memory transport — no sockets) and routed through a real
 /// HttpRecommendServer (registry + service trained once at startup) via

@@ -26,6 +26,8 @@ HarnessFn FindHarness(const char* name) {
   if (std::strcmp(name, "json") == 0) return juggler::fuzz::RunJson;
   if (std::strcmp(name, "model_loader") == 0)
     return juggler::fuzz::RunModelLoader;
+  if (std::strcmp(name, "observation") == 0)
+    return juggler::fuzz::RunObservationDecoder;
   if (std::strcmp(name, "recommend_server") == 0)
     return juggler::fuzz::RunRecommendServer;
   return nullptr;
@@ -36,8 +38,8 @@ HarnessFn FindHarness(const char* name) {
 int main(int argc, char** argv) {
   if (argc < 3) {
     std::fprintf(stderr,
-                 "usage: %s <http_parser|json|model_loader|recommend_server> "
-                 "<file>...\n",
+                 "usage: %s <http_parser|json|model_loader|observation|"
+                 "recommend_server> <file>...\n",
                  argv[0]);
     return 2;
   }

@@ -1,10 +1,13 @@
 #include "cluster/router.h"
 
 #include <chrono>
+#include <map>
 #include <utility>
 
 #include "common/parse.h"
 #include "net/json.h"
+#include "online/observation.h"
+#include "online/online_metrics.h"
 #include "net/prometheus.h"
 #include "net/recommend_codec.h"
 #include "service/prediction_cache.h"
@@ -125,8 +128,10 @@ StatusOr<rpc::RpcFrame> Router::CallShard(size_t index, rpc::FrameType type,
   return reply;
 }
 
-StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
-                                               const std::string& payload) {
+StatusOr<std::string> Router::ForwardByKey(const std::string& route_key,
+                                           rpc::FrameType type,
+                                           rpc::FrameType expected_reply,
+                                           const std::string& payload) {
   const size_t attempts =
       options_.max_attempts == 0 ? 1 : options_.max_attempts;
   const std::vector<size_t> prefs = ring_.Preference(route_key, attempts);
@@ -143,7 +148,7 @@ StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
       if ((pass == 0) != healthy) continue;
       if (attempted) reroutes_.fetch_add(1, std::memory_order_relaxed);
       attempted = true;
-      auto reply = CallShard(index, rpc::FrameType::kRecommend, payload);
+      auto reply = CallShard(index, type, payload);
       if (!reply.ok()) {
         last = reply.status();
         continue;  // Reroute: next shard in the preference order.
@@ -153,7 +158,7 @@ StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
         // Never rerouted: a second shard would say the same thing, slower.
         return net::StatusFromErrorJson(reply->payload);
       }
-      if (reply->type != rpc::FrameType::kRecommendReply) {
+      if (reply->type != expected_reply) {
         last = Status::Internal(
             "unexpected reply frame type " +
             std::to_string(static_cast<int>(reply->type)));
@@ -165,6 +170,18 @@ StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
   // Transient by construction (every failure here was transport-level), so
   // surface as 503-shaped: clients should back off and retry.
   return Status::ResourceExhausted("all shards failed: " + last.message());
+}
+
+StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
+                                               const std::string& payload) {
+  return ForwardByKey(route_key, rpc::FrameType::kRecommend,
+                      rpc::FrameType::kRecommendReply, payload);
+}
+
+StatusOr<std::string> Router::ForwardObserve(const std::string& route_key,
+                                             const std::string& payload) {
+  return ForwardByKey(route_key, rpc::FrameType::kObserve,
+                      rpc::FrameType::kObserveReply, payload);
 }
 
 StatusOr<std::string> Router::CallAny(rpc::FrameType type,
@@ -293,6 +310,9 @@ net::HttpResponse RouterHttpServer::Handle(const net::HttpRequest& request) {
   if (path == "/v1/recommend" && request.method == "POST") {
     return HandleRecommend(request);
   }
+  if (path == "/v1/observe" && request.method == "POST") {
+    return HandleObserve(request);
+  }
   if (path == "/v1/apps" && request.method == "GET") {
     return HandleApps();
   }
@@ -355,6 +375,55 @@ net::HttpResponse RouterHttpServer::HandleRecommend(
         route_keys[i], batch->array_items()[i].Dump());
     body.append(reply.ok() ? *reply
                            : net::ErrorJson(reply.status()).Dump());
+  }
+  body.append("]}");
+  return net::HttpResponse::JsonBody(200, std::move(body));
+}
+
+net::HttpResponse RouterHttpServer::HandleObserve(
+    const net::HttpRequest& request) {
+  if (request.body.empty()) {
+    return net::ErrorResponse(
+        Status::InvalidArgument("empty observation body"));
+  }
+  // Accept both wire forms the standalone server does, then decode so the
+  // batch can be re-grouped: one app's observations must all reach the one
+  // shard that serves (and can refit) that app.
+  StatusOr<std::vector<online::Observation>> observations =
+      Status::InvalidArgument("unparsed");
+  if (request.body.size() >= sizeof(online::kObservationMagic) &&
+      request.body.compare(0, sizeof(online::kObservationMagic),
+                           online::kObservationMagic,
+                           sizeof(online::kObservationMagic)) == 0) {
+    observations = online::DecodeObservationBatch(request.body);
+  } else {
+    auto json = net::Json::Parse(request.body);
+    if (!json.ok()) return net::ErrorResponse(json.status());
+    observations = net::ParseObservationsJson(*json);
+  }
+  if (!observations.ok()) return net::ErrorResponse(observations.status());
+
+  std::map<std::string, std::vector<online::Observation>> by_app;
+  for (online::Observation& o : *observations) {
+    by_app[o.app].push_back(std::move(o));
+  }
+  std::string body = "{\"shards\":[";
+  bool first = true;
+  for (auto& [app, group] : by_app) {
+    if (!first) body.push_back(',');
+    first = false;
+    const std::string encoded = online::EncodeObservationBatch(group);
+    auto reply = router_->ForwardObserve(app, encoded);
+    body.append("{\"app\":");
+    body.append(net::Json::Str(app).Dump());  // Quoted + escaped.
+    body.push_back(',');
+    if (reply.ok()) {
+      body.append("\"reply\":").append(*reply);
+    } else {
+      body.append("\"error\":")
+          .append(net::ErrorJson(reply.status()).Dump());
+    }
+    body.push_back('}');
   }
   body.append("]}");
   return net::HttpResponse::JsonBody(200, std::move(body));
@@ -461,6 +530,7 @@ std::string RouterHttpServer::MetricsText() const {
   net::AppendSample(&out, "juggler_http_parse_errors_total", "", "",
                     static_cast<double>(http.parse_errors));
 
+  online::AppendOnlineMetrics(&out);
   net::AppendLockMetrics(&out);
   return out;
 }

@@ -76,6 +76,13 @@ class Router {
   [[nodiscard]] StatusOr<std::string> ForwardRecommend(
       const std::string& route_key, const std::string& payload);
 
+  /// Routes one observation batch (online binary wire format) by
+  /// `route_key` — the application name, so an app's observations land on
+  /// the shard whose registry serves its model and whose online loop can
+  /// refit it. Same failover discipline as ForwardRecommend.
+  [[nodiscard]] StatusOr<std::string> ForwardObserve(
+      const std::string& route_key, const std::string& payload);
+
   /// Sends `type` to the first healthy shard (any shard can answer
   /// fleet-level metadata like kApps). Same failover as ForwardRecommend.
   [[nodiscard]] StatusOr<std::string> CallAny(rpc::FrameType type,
@@ -131,6 +138,13 @@ class Router {
   StatusOr<rpc::RpcFrame> CallShard(size_t index, rpc::FrameType type,
                                     const std::string& payload);
 
+  /// The shared preference-order forwarding loop behind ForwardRecommend
+  /// and ForwardObserve.
+  StatusOr<std::string> ForwardByKey(const std::string& route_key,
+                                     rpc::FrameType type,
+                                     rpc::FrameType expected_reply,
+                                     const std::string& payload);
+
   void ProbeLoop();
 
   const Options options_;
@@ -150,6 +164,8 @@ class Router {
 ///
 /// Endpoints (same wire shapes as HttpRecommendServer):
 ///   POST /v1/recommend   routed by consistent hash; batches route per slot
+///   POST /v1/observe     observations grouped by app, each group routed to
+///                        the app's shard as a kObserve frame
 ///   GET  /v1/apps        answered by the first healthy shard
 ///   POST /v1/reload      broadcast to every shard; per-shard results
 ///   GET  /healthz        200 while >=1 shard is healthy, else 503
@@ -177,6 +193,7 @@ class RouterHttpServer {
 
  private:
   net::HttpResponse HandleRecommend(const net::HttpRequest& request);
+  net::HttpResponse HandleObserve(const net::HttpRequest& request);
   net::HttpResponse HandleApps();
   net::HttpResponse HandleReload();
 

@@ -29,6 +29,7 @@ ShardServer::ShardServer(
     const Options& options)
     : registry_(std::move(registry)),
       service_(std::move(service)),
+      online_(options.online),
       server_(options.rpc,
               [this](const rpc::RpcFrame& request) { return Handle(request); }) {
 }
@@ -41,6 +42,8 @@ rpc::RpcFrame ShardServer::Handle(const rpc::RpcFrame& request) {
       return HandleApps();
     case rpc::FrameType::kReload:
       return HandleReload();
+    case rpc::FrameType::kObserve:
+      return HandleObserve(request);
     default:
       return ErrorFrame(Status::InvalidArgument(
           "unsupported frame type " +
@@ -57,6 +60,25 @@ rpc::RpcFrame ShardServer::HandleRecommend(const rpc::RpcFrame& request) {
   if (!response.ok()) return ErrorFrame(response.status());
   return Reply(rpc::FrameType::kRecommendReply,
                net::ResponseJson(parsed->app, *response).Dump());
+}
+
+rpc::RpcFrame ShardServer::HandleObserve(const rpc::RpcFrame& request) {
+  if (online_ == nullptr) {
+    return ErrorFrame(Status::FailedPrecondition(
+        "online adaptation disabled on this shard"));
+  }
+  const online::FeedbackCollector::Stats before =
+      online_->collector().GetStats();
+  if (Status added = online_->ObserveEncoded(request.payload); !added.ok()) {
+    return ErrorFrame(added);
+  }
+  const online::FeedbackCollector::Stats after =
+      online_->collector().GetStats();
+  net::Json out = net::Json::Obj();
+  out.Set("accepted", net::Json::Number(static_cast<double>(
+                          after.ingested - before.ingested)))
+      .Set("buffered", net::Json::Number(static_cast<double>(after.buffered)));
+  return Reply(rpc::FrameType::kObserveReply, out.Dump());
 }
 
 rpc::RpcFrame ShardServer::HandleApps() const {

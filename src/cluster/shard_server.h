@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/status.h"
+#include "online/online_loop.h"
 #include "rpc/rpc_server.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
@@ -25,11 +26,16 @@ namespace juggler::cluster {
 ///   kRecommend  -> kRecommendReply | kError
 ///   kApps       -> kAppsReply  {"version":v,"apps":[...]}
 ///   kReload     -> kReloadReply {registry reload summary}
+///   kObserve    -> kObserveReply {"accepted":n,"buffered":n} | kError
+///                  (observation batch in the online binary wire format;
+///                  FAILED_PRECONDITION when the shard runs without --online)
 ///   anything else -> kError INVALID_ARGUMENT
 class ShardServer {
  public:
   struct Options {
     rpc::RpcServer::Options rpc;
+    /// The shard's online feedback loop; null rejects kObserve frames.
+    std::shared_ptr<online::OnlineJuggler> online;
   };
 
   ShardServer(std::shared_ptr<service::ModelRegistry> registry,
@@ -49,11 +55,13 @@ class ShardServer {
 
  private:
   rpc::RpcFrame HandleRecommend(const rpc::RpcFrame& request);
+  rpc::RpcFrame HandleObserve(const rpc::RpcFrame& request);
   rpc::RpcFrame HandleApps() const;
   rpc::RpcFrame HandleReload();
 
   std::shared_ptr<service::ModelRegistry> registry_;
   std::shared_ptr<service::RecommendationService> service_;
+  std::shared_ptr<online::OnlineJuggler> online_;
   rpc::RpcServer server_;
 };
 

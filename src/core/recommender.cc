@@ -1,10 +1,27 @@
 #include "core/recommender.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 
 #include "common/units.h"
 
 namespace juggler::core {
+
+Status Objective::Validate() const {
+  if (!std::isfinite(cost) || !std::isfinite(p99_latency) ||
+      !std::isfinite(memory)) {
+    return Status::InvalidArgument("objective weights must be finite");
+  }
+  if (cost < 0.0 || p99_latency < 0.0 || memory < 0.0) {
+    return Status::InvalidArgument("objective weights must be >= 0");
+  }
+  if (cost == 0.0 && p99_latency == 0.0 && memory == 0.0) {
+    return Status::InvalidArgument(
+        "at least one objective weight must be > 0");
+  }
+  return Status::OK();
+}
 
 TrainedJuggler::TrainedJuggler(std::string app_name,
                                std::vector<Schedule> schedules,
@@ -65,6 +82,62 @@ StatusOr<std::vector<Recommendation>> TrainedJuggler::Recommend(
     }
     if (!dominated) kept.push_back(r);
   }
+  return kept;
+}
+
+StatusOr<std::vector<Recommendation>> TrainedJuggler::Recommend(
+    const minispark::AppParams& params,
+    const minispark::ClusterConfig& machine_type,
+    const Objective& objective) const {
+  if (Status st = objective.Validate(); !st.ok()) return st;
+  if (objective.IsDefault()) return Recommend(params, machine_type);
+  auto all = RecommendAll(params, machine_type);
+  if (!all.ok()) return all.status();
+  // Three-dimensional Pareto filter over (time, cost, memory). The front
+  // itself is weight-independent; the weights only decide the ordering, so
+  // any two weightings agree on *which* schedules are offered.
+  std::vector<Recommendation> kept;
+  for (const Recommendation& r : *all) {
+    bool dominated = false;
+    for (const Recommendation& other : *all) {
+      if (other.schedule_id == r.schedule_id) continue;
+      const bool no_worse =
+          other.predicted_time_ms <= r.predicted_time_ms &&
+          other.predicted_cost_machine_min <= r.predicted_cost_machine_min &&
+          other.predicted_bytes <= r.predicted_bytes;
+      const bool better =
+          other.predicted_time_ms < r.predicted_time_ms ||
+          other.predicted_cost_machine_min < r.predicted_cost_machine_min ||
+          other.predicted_bytes < r.predicted_bytes;
+      if (no_worse && better) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(r);
+  }
+  // Scalarize: normalize each dimension by its maximum over the front so the
+  // weights are unit-free, then order best-first (stable, so equal scores
+  // keep schedule-id order).
+  double max_time = 0.0, max_cost = 0.0, max_bytes = 0.0;
+  for (const Recommendation& r : kept) {
+    max_time = std::max(max_time, r.predicted_time_ms);
+    max_cost = std::max(max_cost, r.predicted_cost_machine_min);
+    max_bytes = std::max(max_bytes, r.predicted_bytes);
+  }
+  if (max_time <= 0.0) max_time = 1.0;
+  if (max_cost <= 0.0) max_cost = 1.0;
+  if (max_bytes <= 0.0) max_bytes = 1.0;
+  for (Recommendation& r : kept) {
+    r.objective_score =
+        objective.cost * (r.predicted_cost_machine_min / max_cost) +
+        objective.p99_latency * (r.predicted_time_ms / max_time) +
+        objective.memory * (r.predicted_bytes / max_bytes);
+  }
+  std::stable_sort(kept.begin(), kept.end(),
+                   [](const Recommendation& a, const Recommendation& b) {
+                     return a.objective_score < b.objective_score;
+                   });
   return kept;
 }
 

@@ -21,6 +21,28 @@ struct Recommendation {
   int machines = 0;
   double predicted_time_ms = 0.0;
   double predicted_cost_machine_min = 0.0;
+  /// Weighted normalized score under the Objective that produced this
+  /// recommendation (lower is better). 0 in the classic cost-only mode.
+  double objective_score = 0.0;
+};
+
+/// \brief Weights for the multi-objective recommender mode: how much the
+/// caller cares about machine-minute cost, execution time (the serving
+/// tier's p99 proxy), and peak cached memory. The classic paper behavior is
+/// the default (cost/time Pareto front, no scalarization).
+struct Objective {
+  double cost = 1.0;
+  double p99_latency = 0.0;
+  double memory = 0.0;
+
+  /// True for the default weighting, which must reproduce the original
+  /// two-dimensional Recommend() bit-for-bit.
+  bool IsDefault() const {
+    return cost == 1.0 && p99_latency == 0.0 && memory == 0.0;
+  }
+
+  /// Weights must be finite, non-negative, and not all zero.
+  [[nodiscard]] Status Validate() const;
 };
 
 /// \brief Everything the offline training produces; the online path (§5.5)
@@ -38,6 +60,16 @@ class TrainedJuggler {
   [[nodiscard]] StatusOr<std::vector<Recommendation>> Recommend(
       const minispark::AppParams& params,
       const minispark::ClusterConfig& machine_type) const;
+
+  /// Multi-objective mode: Pareto-filters over (time, cost, memory) and
+  /// orders the front by the weighted normalized score (each dimension is
+  /// divided by its maximum across the candidate set, so weights compare
+  /// like-for-like regardless of units). The default Objective reproduces
+  /// the two-argument overload exactly.
+  [[nodiscard]] StatusOr<std::vector<Recommendation>> Recommend(
+      const minispark::AppParams& params,
+      const minispark::ClusterConfig& machine_type,
+      const Objective& objective) const;
 
   /// Like Recommend() but without the Pareto filter (used by the evaluation
   /// benches, which inspect every schedule).

@@ -6,6 +6,7 @@
 #include "net/json.h"
 #include "net/prometheus.h"
 #include "net/recommend_codec.h"
+#include "online/online_metrics.h"
 
 namespace juggler::net {
 
@@ -28,6 +29,7 @@ HttpRecommendServer::HttpRecommendServer(
     const Options& options)
     : registry_(std::move(registry)),
       service_(std::move(service)),
+      online_(options.online),
       server_(
           options.http,
           [this](const HttpRequest& request) { return Handle(request); },
@@ -73,6 +75,10 @@ HttpResponse HttpRecommendServer::Handle(const HttpRequest& request) {
   if (path == "/v1/recommend") {
     if (request.method != "POST") return MethodNotAllowed("POST");
     return HandleRecommend(request);
+  }
+  if (path == "/v1/observe") {
+    if (request.method != "POST") return MethodNotAllowed("POST");
+    return HandleObserve(request);
   }
   if (path == "/v1/apps") {
     if (request.method != "GET") return MethodNotAllowed("GET");
@@ -135,6 +141,42 @@ HttpResponse HttpRecommendServer::HandleRecommend(const HttpRequest& request) {
   }
   return HttpResponse::JsonBody(
       200, Json::Obj().Set("results", std::move(results)).Dump());
+}
+
+HttpResponse HttpRecommendServer::HandleObserve(const HttpRequest& request) {
+  if (online_ == nullptr) {
+    return ErrorResponse(Status::FailedPrecondition(
+        "online adaptation disabled; start the server with --online"));
+  }
+  if (request.body.empty()) {
+    return ErrorResponse(Status::InvalidArgument("empty observation body"));
+  }
+  // Binary batches carry the wire magic; everything else is parsed as the
+  // JSON form and re-encoded, so both paths cross the same binary decoder.
+  if (request.body.size() >= sizeof(online::kObservationMagic) &&
+      request.body.compare(0, sizeof(online::kObservationMagic),
+                           online::kObservationMagic,
+                           sizeof(online::kObservationMagic)) == 0) {
+    if (Status added = online_->ObserveEncoded(request.body); !added.ok()) {
+      return ErrorResponse(added);
+    }
+  } else {
+    auto json = Json::Parse(request.body);
+    if (!json.ok()) return ErrorResponse(json.status());
+    auto observations = ParseObservationsJson(*json);
+    if (!observations.ok()) return ErrorResponse(observations.status());
+    const std::string encoded = online::EncodeObservationBatch(*observations);
+    if (Status added = online_->ObserveEncoded(encoded); !added.ok()) {
+      return ErrorResponse(added);
+    }
+  }
+  const online::FeedbackCollector::Stats stats =
+      online_->collector().GetStats();
+  Json out = Json::Obj();
+  out.Set("ingested", Json::Number(static_cast<double>(stats.ingested)))
+      .Set("dropped", Json::Number(static_cast<double>(stats.dropped)))
+      .Set("buffered", Json::Number(static_cast<double>(stats.buffered)));
+  return HttpResponse::JsonBody(200, out.Dump());
 }
 
 HttpResponse HttpRecommendServer::HandleApps() const {
@@ -289,6 +331,7 @@ std::string HttpRecommendServer::MetricsText() const {
   AppendSample(&out, "juggler_http_idle_closed_total", "", "",
                static_cast<double>(http.idle_closed));
 
+  online::AppendOnlineMetrics(&out);
   AppendLockMetrics(&out);
   return out;
 }

@@ -9,6 +9,7 @@
 #include "net/http.h"
 #include "net/http_server.h"
 #include "net/recommend_codec.h"
+#include "online/online_loop.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 
@@ -19,6 +20,9 @@ namespace juggler::net {
 ///
 /// Endpoints:
 ///   POST /v1/recommend   one question, or {"requests":[...]} for a batch
+///   POST /v1/observe     feed live observations to the online refit loop
+///                        (binary wire batch, or a JSON array of records;
+///                        503 when the server runs without --online)
 ///   GET  /v1/apps        registered application names + registry version
 ///   POST /v1/reload      hot-reload the model directory (incremental)
 ///   GET  /healthz        liveness probe ("ok")
@@ -41,6 +45,9 @@ class HttpRecommendServer {
  public:
   struct Options {
     HttpServer::Options http;
+    /// The process's online feedback loop; null serves /v1/observe as 503
+    /// FailedPrecondition ("online adaptation disabled").
+    std::shared_ptr<online::OnlineJuggler> online;
   };
 
   HttpRecommendServer(std::shared_ptr<service::ModelRegistry> registry,
@@ -70,11 +77,13 @@ class HttpRecommendServer {
 
  private:
   HttpResponse HandleRecommend(const HttpRequest& request);
+  HttpResponse HandleObserve(const HttpRequest& request);
   HttpResponse HandleApps() const;
   HttpResponse HandleReload();
 
   std::shared_ptr<service::ModelRegistry> registry_;
   std::shared_ptr<service::RecommendationService> service_;
+  std::shared_ptr<online::OnlineJuggler> online_;
   HttpServer server_;
 };
 

@@ -123,6 +123,33 @@ StatusOr<service::RecommendRequest> ParseRecommendRequest(const Json& json) {
     }
   }
   request.machine_type.executor_memory_bytes = GiB(machine_gb);
+
+  // Multi-objective weights. Omitted -> classic cost-only ordering. When the
+  // object is present, every omitted weight is 0 — "optimize what you name".
+  if (const Json* objective = json.Find("objective"); objective != nullptr) {
+    if (!objective->is_object()) {
+      return Status::InvalidArgument("'objective' must be an object");
+    }
+    core::Objective weights{0.0, 0.0, 0.0};
+    struct Field {
+      const char* name;
+      double* value;
+    };
+    const Field fields[] = {{"cost", &weights.cost},
+                            {"p99_latency", &weights.p99_latency},
+                            {"memory", &weights.memory}};
+    for (const Field& field : fields) {
+      if (const Json* value = objective->Find(field.name); value != nullptr) {
+        if (!value->is_number()) {
+          return Status::InvalidArgument(std::string("'objective.") +
+                                         field.name + "' must be a number");
+        }
+        *field.value = value->number_value();
+      }
+    }
+    JUGGLER_RETURN_IF_ERROR(weights.Validate());
+    request.objective = weights;
+  }
   return request;
 }
 
@@ -137,7 +164,8 @@ Json ResponseJson(const std::string& app,
         .Set("machines", Json::Number(r.machines))
         .Set("predicted_time_ms", Json::Number(r.predicted_time_ms))
         .Set("predicted_cost_machine_min",
-             Json::Number(r.predicted_cost_machine_min));
+             Json::Number(r.predicted_cost_machine_min))
+        .Set("objective_score", Json::Number(r.objective_score));
     recommendations.Append(std::move(item));
   }
   Json out = Json::Obj();
@@ -146,6 +174,69 @@ Json ResponseJson(const std::string& app,
       .Set("model_version",
            Json::Number(static_cast<double>(response.model_version)))
       .Set("recommendations", std::move(recommendations));
+  return out;
+}
+
+StatusOr<std::vector<online::Observation>> ParseObservationsJson(
+    const Json& json) {
+  if (!json.is_array()) {
+    return Status::InvalidArgument("observations must be a JSON array");
+  }
+  std::vector<online::Observation> out;
+  out.reserve(json.array_items().size());
+  for (size_t i = 0; i < json.array_items().size(); ++i) {
+    const Json& record = json.array_items()[i];
+    const std::string at = "observation " + std::to_string(i);
+    if (!record.is_object()) {
+      return Status::InvalidArgument(at + " must be an object");
+    }
+    online::Observation o;
+    const std::string kind = record.StringOr("kind", "");
+    if (kind == "run_time") {
+      o.kind = online::ObservationKind::kRunTime;
+    } else if (kind == "dataset_size") {
+      o.kind = online::ObservationKind::kDatasetSize;
+    } else if (kind == "serve_latency") {
+      o.kind = online::ObservationKind::kServeLatency;
+    } else {
+      return Status::InvalidArgument(
+          at + ": 'kind' must be run_time, dataset_size, or serve_latency");
+    }
+    o.app = record.StringOr("app", "");
+    if (o.app.empty() || o.app.size() > online::kMaxAppBytes) {
+      return Status::InvalidArgument(at + ": 'app' must be a string of 1.." +
+                                     std::to_string(online::kMaxAppBytes) +
+                                     " bytes");
+    }
+    o.target = static_cast<int>(record.NumberOr("target", 0.0));
+    o.model_version =
+        static_cast<uint64_t>(record.NumberOr("model_version", 0.0));
+    const Json* params = record.Find("params");
+    if (params == nullptr || !params->is_object()) {
+      return Status::InvalidArgument(at +
+                                     ": missing object field 'params'");
+    }
+    o.params.examples = params->NumberOr("examples", 0.0);
+    o.params.features = params->NumberOr("features", 0.0);
+    o.params.iterations = static_cast<int>(params->NumberOr("iterations", 1.0));
+    if (o.params.examples <= 0.0 || o.params.features <= 0.0 ||
+        o.params.iterations < 0) {
+      return Status::InvalidArgument(
+          at + ": 'params.examples'/'params.features' must be > 0");
+    }
+    const Json* value = record.Find("value");
+    if (value == nullptr || !value->is_number() ||
+        value->number_value() < 0.0) {
+      return Status::InvalidArgument(at +
+                                     ": 'value' must be a number >= 0");
+    }
+    o.value = value->number_value();
+    o.predicted = record.NumberOr("predicted", 0.0);
+    if (o.predicted < 0.0) {
+      return Status::InvalidArgument(at + ": 'predicted' must be >= 0");
+    }
+    out.push_back(std::move(o));
+  }
   return out;
 }
 

@@ -2,10 +2,12 @@
 #define JUGGLER_NET_RECOMMEND_CODEC_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "net/http.h"
 #include "net/json.h"
+#include "online/observation.h"
 #include "service/recommendation_service.h"
 
 namespace juggler::net {
@@ -49,6 +51,15 @@ Json ResponseJson(const std::string& app,
 /// Maps a Status to the HTTP response the API uses (HttpStatusFor + JSON
 /// error body; 503 carries Retry-After).
 HttpResponse ErrorResponse(const Status& status);
+
+/// Decodes the JSON form of POST /v1/observe: a top-level array of
+///   {"kind":"run_time"|"dataset_size"|"serve_latency","app":"svm",
+///    "target":N,"params":{"examples":N,"features":N,"iterations":N},
+///    "model_version":N,"value":N,"predicted":N}   // predicted optional
+/// The HTTP edge re-encodes the result through the binary wire format before
+/// buffering, so both ingestion paths exercise the same validation.
+StatusOr<std::vector<online::Observation>> ParseObservationsJson(
+    const Json& json);
 
 }  // namespace juggler::net
 

@@ -1,0 +1,106 @@
+#include "online/feedback_collector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/lock_diag.h"
+#include "online/online_metrics.h"
+
+namespace juggler::online {
+
+namespace {
+
+bool Valid(const Observation& o) {
+  return !o.app.empty() && o.app.size() <= kMaxAppBytes &&
+         std::isfinite(o.params.examples) && o.params.examples > 0.0 &&
+         std::isfinite(o.params.features) && o.params.features > 0.0 &&
+         o.params.iterations >= 0 && std::isfinite(o.value) && o.value >= 0.0 &&
+         std::isfinite(o.predicted) && o.predicted >= 0.0;
+}
+
+}  // namespace
+
+FeedbackCollector::FeedbackCollector(const Options& options)
+    : capacity_(std::max<size_t>(1, options.capacity)),
+      mu_(lockdiag::RegisterLockClass("online.FeedbackCollector.buffer",
+                                      lockdiag::kRankLeaf)) {}
+
+bool FeedbackCollector::Add(Observation observation) {
+  if (!Valid(observation)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    RecordDropped(1);
+    return false;
+  }
+  size_t displaced = 0;
+  {
+    MutexLock lock(mu_);
+    while (buffer_.size() >= capacity_) {
+      buffer_.pop_front();
+      ++displaced;
+    }
+    buffer_.push_back(std::move(observation));
+  }
+  ingested_.fetch_add(1, std::memory_order_relaxed);
+  RecordIngested(1);
+  if (displaced > 0) {
+    dropped_.fetch_add(displaced, std::memory_order_relaxed);
+    RecordDropped(displaced);
+  }
+  return true;
+}
+
+size_t FeedbackCollector::AddAll(std::vector<Observation> batch) {
+  size_t accepted = 0;
+  for (Observation& o : batch) {
+    if (Add(std::move(o))) ++accepted;
+  }
+  return accepted;
+}
+
+Status FeedbackCollector::AddEncoded(std::string_view bytes) {
+  auto batch = DecodeObservationBatch(bytes);
+  if (!batch.ok()) return batch.status();
+  AddAll(std::move(batch).value());
+  return Status::OK();
+}
+
+std::vector<Observation> FeedbackCollector::SnapshotApp(
+    const std::string& app) const {
+  std::vector<Observation> out;
+  MutexLock lock(mu_);
+  for (const Observation& o : buffer_) {
+    if (o.app == app) out.push_back(o);
+  }
+  return out;
+}
+
+size_t FeedbackCollector::DiscardApp(const std::string& app) {
+  MutexLock lock(mu_);
+  const size_t before = buffer_.size();
+  std::erase_if(buffer_,
+                [&app](const Observation& o) { return o.app == app; });
+  return before - buffer_.size();
+}
+
+std::vector<std::string> FeedbackCollector::Apps() const {
+  std::vector<std::string> out;
+  {
+    MutexLock lock(mu_);
+    for (const Observation& o : buffer_) out.push_back(o.app);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+FeedbackCollector::Stats FeedbackCollector::GetStats() const {
+  Stats stats;
+  stats.ingested = ingested_.load(std::memory_order_relaxed);
+  stats.dropped = dropped_.load(std::memory_order_relaxed);
+  MutexLock lock(mu_);
+  stats.buffered = buffer_.size();
+  return stats;
+}
+
+}  // namespace juggler::online

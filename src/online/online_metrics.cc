@@ -1,0 +1,154 @@
+#include "online/online_metrics.h"
+
+#include <atomic>
+
+#include "net/prometheus.h"
+
+namespace juggler::online {
+
+namespace {
+
+std::atomic<bool> g_active{false};
+std::atomic<uint64_t> g_ingested{0};
+std::atomic<uint64_t> g_dropped{0};
+std::atomic<uint64_t> g_attempted{0};
+std::atomic<uint64_t> g_accepted{0};
+std::atomic<uint64_t> g_rejected{0};
+std::atomic<uint64_t> g_publish_failures{0};
+std::atomic<uint64_t> g_rollbacks{0};
+// Doubles stored as bit patterns so the globals stay lock-free atomics.
+std::atomic<uint64_t> g_holdout_error_bits{0};
+std::atomic<uint64_t> g_incumbent_error_bits{0};
+std::atomic<uint64_t> g_model_version{0};
+
+double LoadDouble(const std::atomic<uint64_t>& bits) {
+  const uint64_t raw = bits.load(std::memory_order_relaxed);
+  double value;
+  static_assert(sizeof(value) == sizeof(raw));
+  __builtin_memcpy(&value, &raw, sizeof(value));
+  return value;
+}
+
+void StoreDouble(std::atomic<uint64_t>* bits, double value) {
+  uint64_t raw;
+  __builtin_memcpy(&raw, &value, sizeof(raw));
+  bits->store(raw, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void MarkOnlineActive() { g_active.store(true, std::memory_order_relaxed); }
+
+void RecordIngested(uint64_t n) {
+  g_ingested.fetch_add(n, std::memory_order_relaxed);
+}
+
+void RecordDropped(uint64_t n) {
+  g_dropped.fetch_add(n, std::memory_order_relaxed);
+}
+
+void RecordRefitAttempt() {
+  g_attempted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordRefitAccepted() {
+  g_accepted.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordRefitRejected() {
+  g_rejected.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordPublishFailure() {
+  g_publish_failures.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RecordRollback() { g_rollbacks.fetch_add(1, std::memory_order_relaxed); }
+
+void SetHoldoutErrors(double candidate_error, double incumbent_error) {
+  StoreDouble(&g_holdout_error_bits, candidate_error);
+  StoreDouble(&g_incumbent_error_bits, incumbent_error);
+}
+
+void SetActiveModelVersion(uint64_t version) {
+  g_model_version.store(version, std::memory_order_relaxed);
+}
+
+OnlineStats SnapshotOnlineStats() {
+  OnlineStats stats;
+  stats.active = g_active.load(std::memory_order_relaxed);
+  stats.records_ingested = g_ingested.load(std::memory_order_relaxed);
+  stats.records_dropped = g_dropped.load(std::memory_order_relaxed);
+  stats.refits_attempted = g_attempted.load(std::memory_order_relaxed);
+  stats.refits_accepted = g_accepted.load(std::memory_order_relaxed);
+  stats.refits_rejected = g_rejected.load(std::memory_order_relaxed);
+  stats.publish_failures = g_publish_failures.load(std::memory_order_relaxed);
+  stats.rollbacks = g_rollbacks.load(std::memory_order_relaxed);
+  stats.holdout_error = LoadDouble(g_holdout_error_bits);
+  stats.incumbent_error = LoadDouble(g_incumbent_error_bits);
+  stats.active_model_version = g_model_version.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void AppendOnlineMetrics(std::string* out) {
+  const OnlineStats s = SnapshotOnlineStats();
+  net::AppendHeader(out, "juggler_online_active", "gauge",
+                    "1 when this process runs an online refit loop.");
+  net::AppendSample(out, "juggler_online_active", "", "", s.active ? 1 : 0);
+  net::AppendHeader(out, "juggler_online_records_ingested_total", "counter",
+                    "Observations accepted into the feedback buffer.");
+  net::AppendSample(out, "juggler_online_records_ingested_total", "", "",
+                    static_cast<double>(s.records_ingested));
+  net::AppendHeader(out, "juggler_online_records_dropped_total", "counter",
+                    "Observations rejected or displaced by the ring bound.");
+  net::AppendSample(out, "juggler_online_records_dropped_total", "", "",
+                    static_cast<double>(s.records_dropped));
+  net::AppendHeader(out, "juggler_online_refits_attempted_total", "counter",
+                    "Refit attempts triggered by count/interval/error.");
+  net::AppendSample(out, "juggler_online_refits_attempted_total", "", "",
+                    static_cast<double>(s.refits_attempted));
+  net::AppendHeader(out, "juggler_online_refits_accepted_total", "counter",
+                    "Refits that beat the incumbent on holdout and published.");
+  net::AppendSample(out, "juggler_online_refits_accepted_total", "", "",
+                    static_cast<double>(s.refits_accepted));
+  net::AppendHeader(out, "juggler_online_refits_rejected_total", "counter",
+                    "Refits rejected by the holdout gate (last-good kept).");
+  net::AppendSample(out, "juggler_online_refits_rejected_total", "", "",
+                    static_cast<double>(s.refits_rejected));
+  net::AppendHeader(out, "juggler_online_publish_failures_total", "counter",
+                    "Accepted refits that failed to publish.");
+  net::AppendSample(out, "juggler_online_publish_failures_total", "", "",
+                    static_cast<double>(s.publish_failures));
+  net::AppendHeader(out, "juggler_online_rollbacks_total", "counter",
+                    "Last-good artifacts re-published by rollback.");
+  net::AppendSample(out, "juggler_online_rollbacks_total", "", "",
+                    static_cast<double>(s.rollbacks));
+  net::AppendHeader(out, "juggler_online_holdout_error", "gauge",
+                    "Candidate holdout error of the latest refit attempt.");
+  net::AppendSample(out, "juggler_online_holdout_error", "", "",
+                    s.holdout_error);
+  net::AppendHeader(out, "juggler_online_incumbent_error", "gauge",
+                    "Incumbent holdout error of the latest refit attempt.");
+  net::AppendSample(out, "juggler_online_incumbent_error", "", "",
+                    s.incumbent_error);
+  net::AppendHeader(out, "juggler_online_model_version", "gauge",
+                    "Registry version after the latest accepted publish.");
+  net::AppendSample(out, "juggler_online_model_version", "", "",
+                    static_cast<double>(s.active_model_version));
+}
+
+void ResetOnlineStatsForTest() {
+  g_active.store(false, std::memory_order_relaxed);
+  g_ingested.store(0, std::memory_order_relaxed);
+  g_dropped.store(0, std::memory_order_relaxed);
+  g_attempted.store(0, std::memory_order_relaxed);
+  g_accepted.store(0, std::memory_order_relaxed);
+  g_rejected.store(0, std::memory_order_relaxed);
+  g_publish_failures.store(0, std::memory_order_relaxed);
+  g_rollbacks.store(0, std::memory_order_relaxed);
+  g_holdout_error_bits.store(0, std::memory_order_relaxed);
+  g_incumbent_error_bits.store(0, std::memory_order_relaxed);
+  g_model_version.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace juggler::online

@@ -1,0 +1,57 @@
+#ifndef JUGGLER_ONLINE_ONLINE_METRICS_H_
+#define JUGGLER_ONLINE_ONLINE_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace juggler::online {
+
+/// \brief Process-global counters for the online feedback loop, exported as
+/// the `juggler_online_*` Prometheus series on every /metrics edge.
+///
+/// Global by design (like the lock metrics): the standalone HTTP server, the
+/// router, and the shard backends all expose /metrics, and each should report
+/// whatever online activity its process hosts without plumbing an instance
+/// through every layer. Counters are monotonic for the process lifetime —
+/// tests must assert deltas or presence, never absolute values.
+struct OnlineStats {
+  bool active = false;  ///< An OnlineJuggler loop exists in this process.
+  uint64_t records_ingested = 0;
+  uint64_t records_dropped = 0;
+  uint64_t refits_attempted = 0;
+  uint64_t refits_accepted = 0;
+  uint64_t refits_rejected = 0;
+  uint64_t publish_failures = 0;
+  uint64_t rollbacks = 0;
+  /// Holdout errors from the most recent refit attempt (NaN before any).
+  double holdout_error = 0.0;
+  double incumbent_error = 0.0;
+  /// Registry version after the most recent accepted publish (0 before any).
+  uint64_t active_model_version = 0;
+};
+
+void MarkOnlineActive();
+void RecordIngested(uint64_t n);
+void RecordDropped(uint64_t n);
+void RecordRefitAttempt();
+void RecordRefitAccepted();
+void RecordRefitRejected();
+void RecordPublishFailure();
+void RecordRollback();
+void SetHoldoutErrors(double candidate_error, double incumbent_error);
+void SetActiveModelVersion(uint64_t version);
+
+OnlineStats SnapshotOnlineStats();
+
+/// Appends the `juggler_online_*` series in Prometheus text format. The
+/// `juggler_online_active` gauge is always emitted (0 on an edge whose
+/// process runs no loop — e.g. a router fronting online shards), so scrapes
+/// can distinguish "online disabled" from "metrics missing".
+void AppendOnlineMetrics(std::string* out);
+
+/// Test-only: resets every counter so assertions can use absolute values.
+void ResetOnlineStatsForTest();
+
+}  // namespace juggler::online
+
+#endif  // JUGGLER_ONLINE_ONLINE_METRICS_H_

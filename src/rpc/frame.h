@@ -35,6 +35,8 @@ enum class FrameType : uint8_t {
   kReload = 7,          ///< Payload empty; shard re-scans its model dir.
   kReloadReply = 8,     ///< Payload: registry reload summary JSON.
   kError = 9,           ///< Payload: {"error":{"code":...,"message":...}}.
+  kObserve = 10,        ///< Payload: observation batch (online wire format).
+  kObserveReply = 11,   ///< Payload: {"accepted":n,"buffered":n}.
 };
 
 /// True when `value` is one of the FrameType enumerators above.

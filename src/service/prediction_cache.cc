@@ -83,6 +83,26 @@ void PredictionCache::Put(const std::string& key, Value value) {
   shard.index.emplace(key, shard.lru.begin());
 }
 
+size_t PredictionCache::FlushApp(const std::string& app) {
+  // MakeKey() starts every key with `app` + NUL, so a prefix match is exact:
+  // "svm" cannot collide with "svm2".
+  const std::string prefix = app + '\0';
+  size_t removed = 0;
+  for (auto& shard : shards_) {
+    MutexLock lock(shard->mu);
+    for (auto it = shard->lru.begin(); it != shard->lru.end();) {
+      if (it->first.compare(0, prefix.size(), prefix) == 0) {
+        shard->index.erase(it->first);
+        it = shard->lru.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+  }
+  return removed;
+}
+
 void PredictionCache::Clear() {
   for (auto& shard : shards_) {
     MutexLock lock(shard->mu);
@@ -116,9 +136,10 @@ std::vector<size_t> PredictionCache::ShardSizes() const {
 std::string PredictionCache::MakeKey(
     const std::string& app, uint64_t model_version,
     const minispark::AppParams& params,
-    const minispark::ClusterConfig& machine_type) {
+    const minispark::ClusterConfig& machine_type,
+    const core::Objective& objective) {
   std::string key;
-  key.reserve(app.size() + 1 + 8 * 16);
+  key.reserve(app.size() + 1 + 8 * 19);
   key.append(app);
   key.push_back('\0');  // App names never contain NUL; unambiguous separator.
   AppendInt(&key, static_cast<int64_t>(model_version));
@@ -139,6 +160,11 @@ std::string PredictionCache::MakeKey(
   AppendDouble(&key, machine_type.memory_layout.reserved_bytes);
   AppendDouble(&key, machine_type.memory_layout.memory_fraction);
   AppendDouble(&key, machine_type.memory_layout.storage_fraction);
+  // Objective weights change both the ordering and the scores, so two
+  // weightings must never alias one cache entry.
+  AppendDouble(&key, objective.cost);
+  AppendDouble(&key, objective.p99_latency);
+  AppendDouble(&key, objective.memory);
   return key;
 }
 

@@ -68,6 +68,14 @@ class PredictionCache {
 
   void Clear();
 
+  /// Drops every entry whose key was built for `app` (any model version,
+  /// parameters, or machine type). Returns how many entries were removed.
+  /// Called when the online loop publishes a replacement model: the
+  /// version-keyed entries of the old model can never hit again, so
+  /// reclaiming their LRU slots immediately beats waiting for them to age
+  /// out. Not counted as evictions — nothing was displaced by pressure.
+  size_t FlushApp(const std::string& app);
+
   Stats GetStats() const;
 
   size_t num_shards() const { return shards_.size(); }
@@ -81,7 +89,8 @@ class PredictionCache {
   /// memoized answer (old-version entries simply age out of the LRU).
   static std::string MakeKey(const std::string& app, uint64_t model_version,
                              const minispark::AppParams& params,
-                             const minispark::ClusterConfig& machine_type);
+                             const minispark::ClusterConfig& machine_type,
+                             const core::Objective& objective = {});
 
  private:
   struct Shard {

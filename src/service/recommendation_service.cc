@@ -52,7 +52,8 @@ StatusOr<RecommendResponse> RecommendationService::EvaluateNow(
     const std::string& key, AppCounters& app_counters) {
   evaluations_.fetch_add(1, std::memory_order_relaxed);
   app_counters.evaluations.fetch_add(1, std::memory_order_relaxed);
-  auto recs = resolved.model->Recommend(request.params, request.machine_type);
+  auto recs = resolved.model->Recommend(request.params, request.machine_type,
+                                        request.objective);
   if (!recs.ok()) return recs.status();
   auto value = std::make_shared<const std::vector<core::Recommendation>>(
       std::move(recs).value());
@@ -66,8 +67,9 @@ RecommendationService::TryRecommendCached(const RecommendRequest& request) {
   const auto start = Clock::now();
   auto resolved = registry_->Resolve(request.app);
   if (!resolved.ok()) return resolved.status();  // Answerable without a worker.
-  const std::string key = PredictionCache::MakeKey(
-      request.app, resolved->version, request.params, request.machine_type);
+  const std::string key =
+      PredictionCache::MakeKey(request.app, resolved->version, request.params,
+                               request.machine_type, request.objective);
   auto cached = cache_->Peek(key);
   if (!cached) return std::nullopt;  // Cold: caller takes the full path.
   AppCounters& app = CountersFor(request.app);
@@ -87,8 +89,9 @@ StatusOr<RecommendResponse> RecommendationService::Recommend(
   if (!resolved.ok()) return resolved.status();
   AppCounters& app = CountersFor(request.app);
   app.requests.fetch_add(1, std::memory_order_relaxed);
-  const std::string key = PredictionCache::MakeKey(
-      request.app, resolved->version, request.params, request.machine_type);
+  const std::string key =
+      PredictionCache::MakeKey(request.app, resolved->version, request.params,
+                               request.machine_type, request.objective);
   // Warm hits are answered on the caller's thread: no queue slot, no worker
   // handoff — this is the sub-microsecond path recurring applications take.
   if (auto cached = cache_->Get(key)) {
@@ -147,8 +150,9 @@ std::future<StatusOr<RecommendResponse>> RecommendationService::RecommendAsync(
   }
   AppCounters& app = CountersFor(request.app);
   app.requests.fetch_add(1, std::memory_order_relaxed);
-  std::string key = PredictionCache::MakeKey(
-      request.app, resolved->version, request.params, request.machine_type);
+  std::string key =
+      PredictionCache::MakeKey(request.app, resolved->version, request.params,
+                               request.machine_type, request.objective);
   if (auto cached = cache_->Get(key)) {
     app.cache_hits.fetch_add(1, std::memory_order_relaxed);
     const double elapsed = ElapsedUs(start);
@@ -211,9 +215,9 @@ std::vector<StatusOr<RecommendResponse>> RecommendationService::RecommendBatch(
       resolve_errors[i] = resolved.status();
       continue;
     }
-    std::string key =
-        PredictionCache::MakeKey(requests[i].app, resolved->version,
-                                 requests[i].params, requests[i].machine_type);
+    std::string key = PredictionCache::MakeKey(
+        requests[i].app, resolved->version, requests[i].params,
+        requests[i].machine_type, requests[i].objective);
     auto [it, inserted] = groups.try_emplace(std::move(key));
     if (inserted) it->second.first_index = i;
     it->second.indices.push_back(i);

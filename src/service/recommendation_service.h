@@ -29,6 +29,10 @@ struct RecommendRequest {
   std::string app;
   minispark::AppParams params;
   minispark::ClusterConfig machine_type;
+  /// Multi-objective weights (§5.5 extension). Defaults to the classic
+  /// cost-only ordering, which keeps the response bit-identical to the
+  /// 2-argument `TrainedJuggler::Recommend()`.
+  core::Objective objective;
 };
 
 struct RecommendResponse {

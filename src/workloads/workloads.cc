@@ -444,13 +444,15 @@ Application MakeRandomApplication(Rng* rng, const RandomAppOptions& options) {
     for (int k = 0; k < chain; ++k) {
       const double bytes = rng->Uniform(1024.0, MiB(64));
       const double compute = rng->Uniform(1.0, 1e4);
+      std::string name = "j";
+      name += std::to_string(j);
+      name += 'c';
+      name += std::to_string(k);
       if (rng->Bernoulli(options.wide_probability)) {
-        prev = b.AddWide("j" + std::to_string(j) + "c" + std::to_string(k),
-                         {prev}, bytes, compute,
+        prev = b.AddWide(name, {prev}, bytes, compute,
                          static_cast<int>(rng->UniformInt(1, 8)));
       } else {
-        prev = b.AddNarrow("j" + std::to_string(j) + "c" + std::to_string(k),
-                           {prev}, bytes, compute);
+        prev = b.AddNarrow(name, {prev}, bytes, compute);
       }
     }
     b.AddJob("job" + std::to_string(j), prev, 64.0);

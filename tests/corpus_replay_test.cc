@@ -60,6 +60,10 @@ TEST(CorpusReplayTest, ModelLoader) {
   ReplayAll("model_loader", RunModelLoader);
 }
 
+TEST(CorpusReplayTest, Observation) {
+  ReplayAll("observation", RunObservationDecoder);
+}
+
 TEST(CorpusReplayTest, RecommendServer) {
   ReplayAll("recommend_server", RunRecommendServer);
 }

@@ -26,6 +26,8 @@
 #include "net/http_recommend_server.h"
 #include "net/http_server.h"
 #include "net/json.h"
+#include "online/observation.h"
+#include "online/online_loop.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 #include "workloads/workloads.h"
@@ -395,9 +397,11 @@ struct RecommendFixture {
   fs::path dir;
   std::shared_ptr<service::ModelRegistry> registry;
   std::shared_ptr<service::RecommendationService> service;
+  std::shared_ptr<online::OnlineJuggler> online;
   std::unique_ptr<HttpRecommendServer> server;
 
-  explicit RecommendFixture(const std::string& test_name) {
+  explicit RecommendFixture(const std::string& test_name,
+                            bool with_online = false) {
     dir = fs::path(testing::TempDir()) / ("http_" + test_name);
     fs::remove_all(dir);
     fs::create_directories(dir);
@@ -408,8 +412,15 @@ struct RecommendFixture {
     EXPECT_TRUE(registry->Refresh().ok());
     service = std::make_shared<service::RecommendationService>(
         registry, service::RecommendationService::Options{});
-    server = std::make_unique<HttpRecommendServer>(
-        registry, service, HttpRecommendServer::Options{});
+    HttpRecommendServer::Options options;
+    if (with_online) {
+      // Background thread deliberately not started: these tests exercise the
+      // ingest edge, not the refit loop (tests/online_test.cc covers that).
+      online = std::make_shared<online::OnlineJuggler>(
+          registry, service, online::OnlineJuggler::Options{});
+      options.online = online;
+    }
+    server = std::make_unique<HttpRecommendServer>(registry, service, options);
   }
 };
 
@@ -607,6 +618,143 @@ TEST(HttpRecommendServerTest, MetricsExposePerAppSeries) {
             std::string::npos);
   EXPECT_NE(text.find("# TYPE juggler_lock_contended_total counter\n"),
             std::string::npos);
+  // The online-adaptation series are always exported (zeros when --online is
+  // off), so dashboards can pre-provision panels before the flag flips.
+  EXPECT_NE(text.find("juggler_online_active"), std::string::npos);
+  EXPECT_NE(text.find("juggler_online_model_version"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// /v1/observe: the online-adaptation ingest edge.
+// ---------------------------------------------------------------------------
+
+constexpr char kObservationJson[] =
+    R"([{"kind":"run_time","app":"svm","target":1,)"
+    R"("params":{"examples":12000,"features":3000,"iterations":5},)"
+    R"("value":800.0}])";
+
+TEST(HttpRecommendServerTest, ObserveWithoutOnlineLoopIsUnavailable) {
+  RecommendFixture f("observe_off");
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("POST", "/v1/observe", kObservationJson));
+  EXPECT_EQ(response.status, 503);
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok()) << response.body;
+  EXPECT_EQ(json->Find("error")->StringOr("code", ""), "FAILED_PRECONDITION");
+  EXPECT_NE(json->Find("error")->StringOr("message", "").find("--online"),
+            std::string::npos);
+}
+
+TEST(HttpRecommendServerTest, ObserveIngestsJsonBodies) {
+  RecommendFixture f("observe_json", /*with_online=*/true);
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("POST", "/v1/observe", kObservationJson));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->NumberOr("ingested", -1), 1);
+  EXPECT_EQ(json->NumberOr("dropped", -1), 0);
+  EXPECT_EQ(json->NumberOr("buffered", -1), 1);
+  // Observation ingest never takes the fast path (it mutates the collector).
+  EXPECT_FALSE(
+      f.server
+          ->HandleFast(MakeRequest("POST", "/v1/observe", kObservationJson))
+          .has_value());
+}
+
+TEST(HttpRecommendServerTest, ObserveIngestsBinaryBodies) {
+  RecommendFixture f("observe_binary", /*with_online=*/true);
+  online::Observation obs;
+  obs.kind = online::ObservationKind::kRunTime;
+  obs.app = "svm";
+  obs.target = 1;
+  obs.params = minispark::AppParams{12000, 3000, 5};
+  obs.value = 812.5;
+  const std::string body = online::EncodeObservationBatch({obs, obs});
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("POST", "/v1/observe", body));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json->NumberOr("ingested", -1), 2);
+  EXPECT_EQ(json->NumberOr("buffered", -1), 2);
+}
+
+TEST(HttpRecommendServerTest, ObserveRejectsMalformedBodies) {
+  RecommendFixture f("observe_bad", /*with_online=*/true);
+  const auto status_of = [&](const std::string& body) {
+    return f.server->Handle(MakeRequest("POST", "/v1/observe", body)).status;
+  };
+  EXPECT_EQ(status_of(""), 400);
+  EXPECT_EQ(status_of("not json"), 400);
+  // A JSON object (not an array) and an array with a bad element both fail.
+  EXPECT_EQ(status_of(R"({"kind":"run_time"})"), 400);
+  EXPECT_EQ(status_of(R"([{"kind":"nope","app":"svm","target":1,)"
+                      R"("params":{"examples":1,"features":1},"value":1}])"),
+            400);
+  // Binary magic followed by garbage crosses into the wire decoder and is
+  // rejected there.
+  EXPECT_EQ(status_of("JOBSgarbage"), 400);
+  // Nothing malformed ever reaches the buffer.
+  EXPECT_EQ(f.online->collector().GetStats().ingested, 0u);
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/v1/observe")).status, 405);
+}
+
+// ---------------------------------------------------------------------------
+// /v1/recommend with multi-objective weights.
+// ---------------------------------------------------------------------------
+
+TEST(HttpRecommendServerTest, RecommendAcceptsObjectiveWeights) {
+  RecommendFixture f("objective");
+  const std::string body =
+      R"({"app":"svm","params":{"examples":12000,"features":3000,)"
+      R"("iterations":5},"objective":{"p99_latency":1.0,"cost":0.2}})";
+  const HttpResponse response =
+      f.server->Handle(MakeRequest("POST", "/v1/recommend", body));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto json = Json::Parse(response.body);
+  ASSERT_TRUE(json.ok());
+  const auto& items = json->Find("recommendations")->array_items();
+  ASSERT_FALSE(items.empty());
+  // Scores are the sort key: present on every item and ascending.
+  double previous = -1.0;
+  for (const Json& item : items) {
+    const Json* score = item.Find("objective_score");
+    ASSERT_NE(score, nullptr);
+    EXPECT_GE(score->number_value(), previous);
+    previous = score->number_value();
+  }
+
+  // A weighted request is a different cache key than the classic one: the
+  // classic body must still evaluate fresh, not alias the weighted entry.
+  const HttpResponse classic =
+      f.server->Handle(MakeRequest("POST", "/v1/recommend", kSvmBody));
+  ASSERT_EQ(classic.status, 200);
+  auto classic_json = Json::Parse(classic.body);
+  ASSERT_TRUE(classic_json.ok());
+  EXPECT_FALSE(classic_json->Find("cache_hit")->bool_value());
+}
+
+TEST(HttpRecommendServerTest, RecommendRejectsInvalidObjectives) {
+  RecommendFixture f("objective_bad");
+  const auto error_of = [&](const std::string& objective) {
+    const std::string body =
+        R"({"app":"svm","params":{"examples":12000,"features":3000,)"
+        R"("iterations":5},"objective":)" +
+        objective + "}";
+    const HttpResponse response =
+        f.server->Handle(MakeRequest("POST", "/v1/recommend", body));
+    auto json = Json::Parse(response.body);
+    EXPECT_TRUE(json.ok()) << response.body;
+    return std::to_string(response.status) + " " +
+           json->Find("error")->StringOr("code", "?");
+  };
+  // Not an object, non-number weight, negative weight, and the all-zero
+  // degenerate ("optimize nothing") are all parse-time 400s.
+  EXPECT_EQ(error_of("[1,2,3]"), "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_of(R"({"cost":"high"})"), "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_of(R"({"cost":-1.0})"), "400 INVALID_ARGUMENT");
+  EXPECT_EQ(error_of("{}"), "400 INVALID_ARGUMENT");
 }
 
 }  // namespace

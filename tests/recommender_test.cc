@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <vector>
 
 #include "core/recommender.h"
 #include "math/linear_model.h"
@@ -120,6 +123,101 @@ TEST(RecommenderTest, MachineTypeChangesRecommendation) {
       juggler.RecommendAll(p, PaperCluster(1))->front().machines;
   const int m_big = juggler.RecommendAll(p, big)->front().machines;
   EXPECT_LT(m_big, m_small);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-objective mode
+
+TEST(ObjectiveTest, ValidateRejectsBadWeights) {
+  EXPECT_TRUE(Objective{}.Validate().ok());
+  EXPECT_TRUE((Objective{0.0, 1.0, 0.5}).Validate().ok());
+  EXPECT_FALSE((Objective{-1.0, 0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((Objective{0.0, 0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE(
+      (Objective{std::nan(""), 0.0, 0.0}).Validate().ok());
+  EXPECT_FALSE((Objective{std::numeric_limits<double>::infinity(), 0.0, 0.0})
+                   .Validate()
+                   .ok());
+}
+
+TEST(RecommenderTest, DefaultObjectiveMatchesClassicBitForBit) {
+  auto juggler = MakeTrained({0.001, 40000.0}, {0.09, 0.02});
+  const AppParams p{4000, 400, 1};
+  auto classic = juggler.Recommend(p, PaperCluster(1));
+  auto weighted = juggler.Recommend(p, PaperCluster(1), Objective{});
+  ASSERT_TRUE(classic.ok());
+  ASSERT_TRUE(weighted.ok());
+  ASSERT_EQ(classic->size(), weighted->size());
+  for (size_t i = 0; i < classic->size(); ++i) {
+    EXPECT_EQ((*classic)[i].schedule_id, (*weighted)[i].schedule_id);
+    EXPECT_EQ((*classic)[i].predicted_time_ms, (*weighted)[i].predicted_time_ms);
+    EXPECT_EQ((*classic)[i].predicted_cost_machine_min,
+              (*weighted)[i].predicted_cost_machine_min);
+    EXPECT_EQ((*classic)[i].objective_score, (*weighted)[i].objective_score);
+  }
+}
+
+TEST(RecommenderTest, WeightingsReorderButNeverChangeTheFront) {
+  // Two non-dominated schedules: 1 is cheap but slow, 2 is fast but costly.
+  auto juggler = MakeTrained({0.001, 40000.0}, {0.09, 0.02});
+  const AppParams p{4000, 400, 1};
+  const Objective cost_heavy{1.0, 0.01, 0.0};
+  const Objective latency_heavy{0.01, 1.0, 0.0};
+
+  auto by_cost = juggler.Recommend(p, PaperCluster(1), cost_heavy);
+  auto by_latency = juggler.Recommend(p, PaperCluster(1), latency_heavy);
+  ASSERT_TRUE(by_cost.ok()) << by_cost.status().ToString();
+  ASSERT_TRUE(by_latency.ok()) << by_latency.status().ToString();
+
+  // The Pareto front is weight-independent: both weightings offer the same
+  // schedule set.
+  auto ids = [](const std::vector<Recommendation>& recs) {
+    std::vector<int> out;
+    for (const auto& r : recs) out.push_back(r.schedule_id);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(ids(*by_cost), ids(*by_latency));
+  ASSERT_EQ(by_cost->size(), 2u);
+
+  // The ordering follows the weights: cost-first puts the cheaper schedule
+  // on top, latency-first the faster one.
+  EXPECT_LE(by_cost->front().predicted_cost_machine_min,
+            by_cost->back().predicted_cost_machine_min);
+  EXPECT_LE(by_latency->front().predicted_time_ms,
+            by_latency->back().predicted_time_ms);
+  EXPECT_NE(by_cost->front().schedule_id, by_latency->front().schedule_id);
+
+  // Scores are the sort key, best-first, and normalization keeps them in
+  // [0, weight sum].
+  for (const auto* recs : {&*by_cost, &*by_latency}) {
+    for (size_t i = 1; i < recs->size(); ++i) {
+      EXPECT_LE((*recs)[i - 1].objective_score, (*recs)[i].objective_score);
+    }
+    for (const auto& r : *recs) {
+      EXPECT_GE(r.objective_score, 0.0);
+      EXPECT_LE(r.objective_score, 1.01 + 0.01);
+    }
+  }
+}
+
+TEST(RecommenderTest, MemoryWeightPrefersSmallerFootprint) {
+  auto juggler = MakeTrained({0.001, 40000.0}, {0.09, 0.02});
+  const AppParams p{4000, 400, 1};
+  auto by_memory =
+      juggler.Recommend(p, PaperCluster(1), Objective{0.0, 0.0, 1.0});
+  ASSERT_TRUE(by_memory.ok());
+  ASSERT_GE(by_memory->size(), 2u);
+  EXPECT_LE(by_memory->front().predicted_bytes,
+            by_memory->back().predicted_bytes);
+}
+
+TEST(RecommenderTest, InvalidObjectiveIsRejectedBeforeEvaluation) {
+  auto juggler = MakeTrained({0.001}, {0.09});
+  const AppParams p{4000, 400, 1};
+  auto result =
+      juggler.Recommend(p, PaperCluster(1), Objective{0.0, 0.0, 0.0});
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
 }  // namespace

@@ -1,0 +1,176 @@
+// Mid-serve publishing: the ModelPublisher's write-temp-then-rename swap
+// against live ModelRegistry readers. Every test here runs real threads over
+// a real directory — under TSan (the CI thread-sanitizer job builds this
+// binary) any torn read, lost refresh, or racy eviction becomes a report.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/juggler.h"
+#include "core/serialization.h"
+#include "online/model_publisher.h"
+#include "service/model_registry.h"
+#include "workloads/workloads.h"
+
+namespace juggler::online {
+namespace {
+
+namespace fs = std::filesystem;
+using core::TrainedJuggler;
+
+TrainedJuggler TrainSmall(const std::string& name, int iterations = 5) {
+  const auto w = workloads::GetWorkload(name).value();
+  core::JugglerConfig config;
+  config.time_grid =
+      core::TrainingGrid{{4000, 8000, 16000}, {1000, 2000, 4000}, iterations};
+  config.memory_reference = w.paper_params;
+  config.run_options.noise_sigma = 0.0;
+  config.run_options.straggler_prob = 0.0;
+  auto training = core::TrainJuggler(name, w.make, config);
+  EXPECT_TRUE(training.ok()) << training.status().ToString();
+  return std::move(training)->trained;
+}
+
+/// The same model with scaled time coefficients — a distinguishable variant
+/// for swap tests.
+TrainedJuggler Variant(const TrainedJuggler& model, double scale) {
+  std::vector<math::LinearModel> scaled = model.time_models();
+  for (math::LinearModel& m : scaled) {
+    std::vector<double> coeffs = m.coefficients();
+    for (double& c : coeffs) c *= scale;
+    EXPECT_TRUE(m.SetCoefficients(std::move(coeffs)).ok());
+  }
+  return TrainedJuggler(model.app_name(), model.schedules(), model.sizes(),
+                        model.memory(), std::move(scaled));
+}
+
+fs::path MakeModelDir(const std::string& test_name) {
+  const fs::path dir =
+      fs::path(testing::TempDir()) / ("publish_" + test_name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+TEST(RegistryPublishTest, ReadersNeverSeeATornArtifact) {
+  const fs::path dir = MakeModelDir("torn");
+  const TrainedJuggler a = TrainSmall("svm");
+  const TrainedJuggler b = Variant(a, 2.0);
+  ModelPublisher publisher(dir.string());
+  ASSERT_TRUE(publisher.Publish(a).ok());
+
+  auto registry = std::make_shared<service::ModelRegistry>(dir.string());
+  ASSERT_TRUE(registry->Refresh().ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> resolved{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = registry->Resolve("svm");
+        // A swap must never surface as a missing or unparsable model: the
+        // rename either happened (new model) or did not (old model).
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->model->app_name(), "svm");
+        ASSERT_EQ(r->model->time_models().size(),
+                  r->model->schedules().size());
+        resolved.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  std::thread refresher([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(registry->Refresh().ok());
+    }
+  });
+
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(publisher.Publish(i % 2 == 0 ? b : a).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  refresher.join();
+  EXPECT_GT(resolved.load(), 0u);
+  EXPECT_EQ(publisher.GetStats().failures, 0u);
+}
+
+TEST(RegistryPublishTest, CorruptArtifactDegradesToLastGoodUntilRepublish) {
+  const fs::path dir = MakeModelDir("corrupt");
+  const TrainedJuggler good = TrainSmall("svm");
+  ModelPublisher publisher(dir.string());
+  ASSERT_TRUE(publisher.Publish(good).ok());
+
+  service::ModelRegistry registry(dir.string());
+  ASSERT_TRUE(registry.Refresh().ok());
+  const uint64_t version = registry.version();
+
+  // A writer that bypasses the publisher (or a torn disk) corrupts the
+  // artifact in place. Refresh keeps serving the parsed last-good copy.
+  std::ofstream(dir / "svm.model") << "not a model";
+  ASSERT_TRUE(registry.Refresh().ok());
+  auto still = registry.Resolve("svm");
+  ASSERT_TRUE(still.ok()) << still.status().ToString();
+  EXPECT_EQ(still->model->app_name(), "svm");
+  EXPECT_EQ(registry.last_refresh().failed, 1u);
+
+  // Recovery is a plain republish: the atomic swap replaces the corrupt
+  // bytes and the next refresh serves the new artifact as a new version.
+  ASSERT_TRUE(publisher.Publish(good).ok());
+  ASSERT_TRUE(registry.Refresh().ok());
+  auto recovered = registry.Resolve("svm");
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_GT(registry.version(), version);
+}
+
+TEST(RegistryPublishTest, SwapsRaceCleanlyWithLazyEviction) {
+  const fs::path dir = MakeModelDir("lazy_evict");
+  const TrainedJuggler svm = TrainSmall("svm");
+  const TrainedJuggler pca = TrainSmall("pca");
+  ModelPublisher publisher(dir.string());
+  ASSERT_TRUE(publisher.Publish(svm).ok());
+  ASSERT_TRUE(publisher.Publish(pca).ok());
+
+  // One resident model and an aggressive TTL: every swap races the LRU/TTL
+  // eviction path as well as the readers.
+  service::ModelRegistry::Options options;
+  options.lazy_load = true;
+  options.max_loaded = 1;
+  options.ttl_ms = 1;
+  auto registry =
+      std::make_shared<service::ModelRegistry>(dir.string(), options);
+  ASSERT_TRUE(registry->Refresh().ok());
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      const std::string app = (t % 2 == 0) ? "svm" : "pca";
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto r = registry->Resolve(app);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->model->app_name(), app);
+      }
+    });
+  }
+
+  const TrainedJuggler svm2 = Variant(svm, 2.0);
+  const TrainedJuggler pca2 = Variant(pca, 2.0);
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(publisher.Publish(i % 2 == 0 ? svm2 : svm).ok());
+    ASSERT_TRUE(publisher.Publish(i % 2 == 0 ? pca2 : pca).ok());
+    ASSERT_TRUE(registry->Refresh().ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(registry->evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace juggler::online

@@ -467,6 +467,51 @@ TEST(PredictionCacheTest, KeyReflectsEveryInput) {
   auto m2 = machine;
   m2.executor_memory_bytes *= 2;
   EXPECT_NE(PredictionCache::MakeKey("svm", 1, params, m2), base);
+
+  // Two objective weightings must never alias one cache entry: the same
+  // question under a latency-heavy objective is a different answer.
+  EXPECT_EQ(PredictionCache::MakeKey("svm", 1, params, machine,
+                                     core::Objective{}),
+            base);
+  EXPECT_NE(PredictionCache::MakeKey("svm", 1, params, machine,
+                                     core::Objective{1.0, 0.5, 0.0}),
+            base);
+  EXPECT_NE(PredictionCache::MakeKey("svm", 1, params, machine,
+                                     core::Objective{1.0, 0.5, 0.0}),
+            PredictionCache::MakeKey("svm", 1, params, machine,
+                                     core::Objective{1.0, 0.0, 0.5}));
+}
+
+TEST(PredictionCacheTest, FlushAppDropsOnlyThatApp) {
+  PredictionCache cache(PredictionCache::Options{/*capacity=*/64,
+                                                 /*num_shards=*/4});
+  const auto machine = PaperCluster(1);
+  for (int i = 0; i < 8; ++i) {
+    const AppParams params{1000.0 + i, 100.0, 1};
+    cache.Put(PredictionCache::MakeKey("svm", 1, params, machine),
+              MakeValue(i));
+    cache.Put(PredictionCache::MakeKey("pca", 1, params, machine),
+              MakeValue(i));
+  }
+  ASSERT_EQ(cache.GetStats().size, 16u);
+
+  // An accepted online refit flushes the app's stale answers; the flush is
+  // not an eviction (nothing was squeezed out by capacity).
+  EXPECT_EQ(cache.FlushApp("svm"), 8u);
+  const auto stats = cache.GetStats();
+  EXPECT_EQ(stats.size, 8u);
+  EXPECT_EQ(stats.evictions, 0u);
+  const AppParams params{1000.0, 100.0, 1};
+  EXPECT_EQ(cache.Get(PredictionCache::MakeKey("svm", 1, params, machine)),
+            nullptr);
+  EXPECT_NE(cache.Get(PredictionCache::MakeKey("pca", 1, params, machine)),
+            nullptr);
+
+  // "svm" must not flush an app whose name merely starts with it.
+  cache.Put(PredictionCache::MakeKey("svm2", 1, params, machine), MakeValue(1));
+  EXPECT_EQ(cache.FlushApp("svm"), 0u);
+  EXPECT_NE(cache.Get(PredictionCache::MakeKey("svm2", 1, params, machine)),
+            nullptr);
 }
 
 TEST(PredictionCacheTest, PeekCountsHitsButNeverMisses) {
@@ -606,7 +651,7 @@ struct ServiceFixture {
 
 RecommendRequest SvmRequest(double examples = 12000, double features = 3000) {
   return RecommendRequest{"svm", AppParams{examples, features, 5},
-                          PaperCluster(1)};
+                          PaperCluster(1), {}};
 }
 
 TEST(RecommendationServiceTest, MatchesDirectRecommendBitForBit) {
@@ -637,10 +682,30 @@ TEST(RecommendationServiceTest, MatchesDirectRecommendBitForBit) {
   EXPECT_EQ(stats.latency.count, 2u);
 }
 
+TEST(RecommendationServiceTest, ObjectiveWeightingsGetDistinctCacheEntries) {
+  ServiceFixture f("objective_cache");
+  auto classic = f.service->Recommend(SvmRequest());
+  ASSERT_TRUE(classic.ok()) << classic.status().ToString();
+  EXPECT_FALSE(classic->cache_hit);
+
+  // The same question under a different objective is a different cache key:
+  // it must evaluate, not replay the classic answer.
+  RecommendRequest weighted = SvmRequest();
+  weighted.objective = core::Objective{0.01, 1.0, 0.0};
+  auto first = f.service->Recommend(weighted);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  auto second = f.service->Recommend(weighted);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_TRUE(SameRecommendations(*first->recommendations,
+                                  *second->recommendations));
+}
+
 TEST(RecommendationServiceTest, UnknownAppIsNotFound) {
   ServiceFixture f("unknown_app");
   auto result = f.service->Recommend(
-      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1)});
+      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1), {}});
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
@@ -650,7 +715,7 @@ TEST(RecommendationServiceTest, BatchDedupsAndMatchesSequential) {
   std::vector<RecommendRequest> batch;
   for (int i = 0; i < 4; ++i) batch.push_back(SvmRequest(12000, 3000));
   batch.push_back(
-      RecommendRequest{"nope", AppParams{1, 1, 1}, PaperCluster(1)});
+      RecommendRequest{"nope", AppParams{1, 1, 1}, PaperCluster(1), {}});
   for (int i = 0; i < 4; ++i) batch.push_back(SvmRequest(24000, 6000));
 
   auto results = f.service->RecommendBatch(batch);
@@ -795,7 +860,7 @@ TEST(RecommendationServiceTest, TryRecommendCachedAnswersOnlyWithoutWork) {
 
   // Resolve errors need no evaluation, so they are answered inline.
   auto unknown = f.service->TryRecommendCached(
-      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1)});
+      RecommendRequest{"nope", AppParams{1000, 100, 1}, PaperCluster(1), {}});
   ASSERT_TRUE(unknown.has_value());
   EXPECT_EQ(unknown->status().code(), StatusCode::kNotFound);
 
@@ -826,11 +891,11 @@ TEST(RecommendationServiceTest, PerAppStatsPartitionTraffic) {
   ASSERT_TRUE(f.service->Recommend(SvmRequest(24000, 6000)).ok());
   ASSERT_TRUE(f.service
                   ->Recommend(RecommendRequest{"pca", AppParams{8000, 2000, 5},
-                                               PaperCluster(1)})
+                                               PaperCluster(1), {}})
                   .ok());
   EXPECT_FALSE(f.service
                    ->Recommend(RecommendRequest{"nope", AppParams{1, 1, 1},
-                                                PaperCluster(1)})
+                                                PaperCluster(1), {}})
                    .ok());
 
   const auto stats = f.service->GetStats();

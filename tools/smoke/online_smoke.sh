@@ -1,0 +1,149 @@
+#!/usr/bin/env bash
+# Closed-loop soak of the online adaptation path: trains a tiny registry,
+# boots juggler_serve with --online, streams observations that follow a law
+# the offline-trained model has never seen, and asserts that the loop
+# completes at least one accepted refit — collector -> refit -> holdout gate
+# -> publish -> registry refresh — without a restart, while the recommend
+# path keeps answering. Run it against a TSan build to make the soak a race
+# detector as well.
+#
+#   tools/smoke/online_smoke.sh [path-to-juggler_serve] [soak-seconds]
+#
+# Exits non-zero on the first failed check. Used by the online-soak CI job.
+set -u -o pipefail
+
+SERVE="${1:-build/examples/juggler_serve}"
+SOAK_SECONDS="${2:-60}"
+WORKDIR="$(mktemp -d)"
+MODELS="$WORKDIR/models"
+LOG="$WORKDIR/server.log"
+SERVER_PID=""
+
+fail() {
+  echo "FAIL: $*" >&2
+  [ -f "$LOG" ] && { echo "--- server log ---" >&2; cat "$LOG" >&2; }
+  exit 1
+}
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null
+  rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+[ -x "$SERVE" ] || fail "juggler_serve not found at $SERVE"
+
+# --- Train the registry (REPL mode exits cleanly on EOF).
+echo "== training the registry =="
+"$SERVE" "$MODELS" --train-fast --stdin \
+  <<< 'svm 12000 3000' >/dev/null || fail "training run exited non-zero"
+[ -f "$MODELS/svm.model" ] || fail "training left no svm.model artifact"
+
+# --- Serve with the feedback loop on. A short refit interval so the soak
+# window fits many attempt opportunities.
+echo "== serving with --online =="
+"$SERVE" "$MODELS" --port 0 --workers 2 \
+  --online --online-min-records 24 --online-interval-ms 1000 \
+  >"$LOG" 2>&1 &
+SERVER_PID=$!
+
+PORT=""
+for _ in $(seq 1 100); do
+  PORT="$(sed -n 's/.*listening on http:\/\/[0-9.]*:\([0-9]*\).*/\1/p' "$LOG")"
+  [ -n "$PORT" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died during startup"
+  sleep 0.1
+done
+[ -n "$PORT" ] || fail "server never logged its port"
+BASE="http://127.0.0.1:$PORT"
+echo "server up on $BASE"
+grep -q "online adaptation on" "$LOG" || fail "server did not enable --online"
+
+BODY='{"app":"svm","params":{"examples":12000,"features":3000,"iterations":5}}'
+
+# Discover the model's schedule ids from a real recommendation: refit
+# observations must target schedules the incumbent actually has.
+RESPONSE="$(curl -s -X POST -d "$BODY" "$BASE/v1/recommend")"
+SCHEDULES="$(grep -o '"schedule_id":[0-9]*' <<< "$RESPONSE" \
+  | grep -o '[0-9]*' | sort -un)"
+[ -n "$SCHEDULES" ] || fail "recommend returned no schedule ids: $RESPONSE"
+echo "observed schedule ids:" $SCHEDULES
+
+# One observation batch: run times following value = e*f/2000 ms for every
+# schedule — a clean linear law, far from what offline training fit, so a
+# refit against it beats the incumbent on held-out traffic and is accepted.
+batch_json() {
+  local items="" e f v sched
+  for sched in $SCHEDULES; do
+    for e in 4000 8000 12000 16000 20000 24000; do
+      for f in 1000 2000 4000; do
+        v=$((e * f / 2000))
+        items+="{\"kind\":\"run_time\",\"app\":\"svm\",\"target\":$sched,"
+        items+="\"params\":{\"examples\":$e,\"features\":$f,\"iterations\":5},"
+        items+="\"value\":$v},"
+      done
+    done
+  done
+  echo "[${items%,}]"
+}
+BATCH="$(batch_json)"
+
+metric() {
+  curl -s "$BASE/metrics" | sed -n "s/^$1 \([0-9.]*\)$/\1/p"
+}
+
+# --- The soak loop: keep feeding observations (every refit attempt consumes
+# the buffer) and polling /metrics until a refit lands or time runs out.
+echo "== soaking for up to ${SOAK_SECONDS}s =="
+ACCEPTED=0
+DEADLINE=$((SECONDS + SOAK_SECONDS))
+while [ "$SECONDS" -lt "$DEADLINE" ]; do
+  curl -s -o /dev/null -X POST -d "$BATCH" "$BASE/v1/observe" \
+    || fail "observe POST failed"
+  # The serving path must stay responsive throughout the soak.
+  curl -s -X POST -d "$BODY" "$BASE/v1/recommend" | grep -q '"svm"' \
+    || fail "recommend stopped answering mid-soak"
+  ACCEPTED="$(metric juggler_online_refits_accepted_total)"
+  [ -n "$ACCEPTED" ] || fail "/metrics lost juggler_online_refits_accepted_total"
+  if [ "${ACCEPTED%%.*}" -ge 1 ]; then
+    break
+  fi
+  sleep 1
+done
+[ "${ACCEPTED%%.*}" -ge 1 ] \
+  || fail "no accepted refit within ${SOAK_SECONDS}s (accepted=$ACCEPTED)"
+echo "accepted refits: $ACCEPTED"
+
+# The publish bumped the registry mid-serve: recommendations now come from a
+# new model version, and the online series agree.
+VERSION="$(metric juggler_online_model_version)"
+[ -n "$VERSION" ] && [ "${VERSION%%.*}" -ge 2 ] \
+  || fail "registry version did not advance past the refit (v=$VERSION)"
+curl -s -X POST -d "$BODY" "$BASE/v1/recommend" \
+  | grep -q "\"model_version\":${VERSION%%.*}" \
+  || fail "recommend does not serve the refit model version $VERSION"
+# (Capture first: `curl | grep -q` would SIGPIPE curl under pipefail.)
+METRICS="$(curl -s "$BASE/metrics")"
+grep -q '^juggler_online_active 1$' <<< "$METRICS" \
+  || fail "juggler_online_active is not 1"
+grep -q '^juggler_online_publish_failures_total 0$' <<< "$METRICS" \
+  || fail "the soak saw publish failures"
+
+# --- Clean shutdown: SIGTERM prints the online stats summary and exits 0.
+echo "== shutdown =="
+kill -TERM "$SERVER_PID"
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  fail "server ignored SIGTERM"
+fi
+wait "$SERVER_PID"
+STATUS=$?
+SERVER_PID=""
+[ "$STATUS" -eq 0 ] || fail "server exited with status $STATUS"
+grep -q "online stats:" "$LOG" || fail "shutdown printed no online stats"
+grep -q "shutting down" "$LOG" || true
+
+echo "OK"
