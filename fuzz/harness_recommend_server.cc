@@ -9,6 +9,7 @@
 #include "fuzz/harnesses.h"
 #include "net/http.h"
 #include "net/http_recommend_server.h"
+#include "online/online_loop.h"
 #include "service/model_registry.h"
 #include "service/recommendation_service.h"
 #include "workloads/workloads.h"
@@ -24,6 +25,7 @@ namespace {
 struct ServerFixture {
   std::shared_ptr<service::ModelRegistry> registry;
   std::shared_ptr<service::RecommendationService> service;
+  std::shared_ptr<online::OnlineJuggler> online;
   std::unique_ptr<net::HttpRecommendServer> server;
 
   ServerFixture() {
@@ -55,6 +57,11 @@ struct ServerFixture {
     net::HttpRecommendServer::Options server_options;
     server_options.http.limits.max_header_bytes = 2048;
     server_options.http.limits.max_body_bytes = 4096;
+    // Online ingest enabled (refit thread not started) so POST /v1/observe
+    // reaches the JSON observation decoder instead of 503ing at the door.
+    online = std::make_shared<online::OnlineJuggler>(
+        registry, service, online::OnlineJuggler::Options{});
+    server_options.online = online;
     server = std::make_unique<net::HttpRecommendServer>(registry, service,
                                                         server_options);
     // Start() is never called: requests are driven straight into

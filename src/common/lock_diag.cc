@@ -314,6 +314,7 @@ void Mutex::LockInstrumented() {
     cls_->wait_ns.fetch_add(lockdiag::NowNs() - wait_start,
                             std::memory_order_relaxed);
   }
+  AssertHeld();  // mu_ is locked above; make that visible to the analysis.
   cls_->acquisitions.fetch_add(1, std::memory_order_relaxed);
   hold_start_ns_ = lockdiag::NowNs();
   lockdiag::OnAcquired(cls_);
@@ -321,6 +322,7 @@ void Mutex::LockInstrumented() {
 
 bool Mutex::TryLockInstrumented() {
   if (!mu_.try_lock()) return false;
+  AssertHeld();  // The try_lock above succeeded.
   cls_->acquisitions.fetch_add(1, std::memory_order_relaxed);
   hold_start_ns_ = lockdiag::NowNs();
   lockdiag::OnAcquired(cls_);
@@ -328,6 +330,7 @@ bool Mutex::TryLockInstrumented() {
 }
 
 void Mutex::UnlockInstrumented() {
+  AssertHeld();  // Callers hold the lock until mu_.unlock() below.
   const uint64_t held_ns = lockdiag::NowNs() - hold_start_ns_;
   cls_->hold_ns.fetch_add(held_ns, std::memory_order_relaxed);
   uint64_t prev_max = cls_->max_hold_ns.load(std::memory_order_relaxed);
@@ -343,6 +346,7 @@ void Mutex::BeginWaitInstrumented() {
   // A CondVar wait releases the mutex while blocked: close out the current
   // hold so hold-time excludes the wait, and pop the detector stack so the
   // thread is not considered to hold the lock while asleep.
+  AssertHeld();  // Held on entry; the CondVar releases it after this call.
   const uint64_t held_ns = lockdiag::NowNs() - hold_start_ns_;
   cls_->hold_ns.fetch_add(held_ns, std::memory_order_relaxed);
   uint64_t prev_max = cls_->max_hold_ns.load(std::memory_order_relaxed);
@@ -355,6 +359,7 @@ void Mutex::BeginWaitInstrumented() {
 
 void Mutex::EndWaitInstrumented() {
   // Woke up holding the mutex again: this is a fresh acquisition.
+  AssertHeld();
   cls_->acquisitions.fetch_add(1, std::memory_order_relaxed);
   hold_start_ns_ = lockdiag::NowNs();
   lockdiag::OnAcquired(cls_);

@@ -64,6 +64,26 @@ namespace juggler {
   return true;
 }
 
+/// Converts a wire-derived double to int32_t, truncating toward zero.
+/// Returns false for NaN, infinities, and values outside [INT32_MIN,
+/// INT32_MAX]. The bounds are exact powers of two, so both comparisons are
+/// computed without rounding: every accepted value truncates to an
+/// in-range integer, and `static_cast` on a rejected value — which is
+/// undefined behavior — can never be reached through this helper.
+[[nodiscard]] inline bool DoubleToInt32(double value, int32_t* out) {
+  if (!(value >= -2147483648.0 && value < 2147483648.0)) return false;
+  *out = static_cast<int32_t>(value);
+  return true;
+}
+
+/// Converts a wire-derived double to uint64_t, truncating toward zero.
+/// Returns false for NaN, infinities, negatives, and values >= 2^64.
+[[nodiscard]] inline bool DoubleToUint64(double value, uint64_t* out) {
+  if (!(value >= 0.0 && value < 18446744073709551616.0)) return false;
+  *out = static_cast<uint64_t>(value);
+  return true;
+}
+
 }  // namespace juggler
 
 #endif  // JUGGLER_COMMON_PARSE_H_

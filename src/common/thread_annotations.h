@@ -76,6 +76,13 @@
 #define ACQUIRED_BEFORE(...) \
   JUGGLER_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
 
+/// Declares that the function asserts — without acquiring — that the
+/// capability is already held; the analysis treats it as held for the rest
+/// of the scope. Use where a lock is taken in a caller the analysis cannot
+/// see (e.g. across a native_handle() boundary).
+#define ASSERT_CAPABILITY(x) \
+  JUGGLER_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
 /// Opts a function out of the analysis. Use sparingly, with a comment saying
 /// why the analysis cannot see the invariant (e.g. init/destruction paths).
 #define NO_THREAD_SAFETY_ANALYSIS \

@@ -50,7 +50,9 @@ ContentLengthParse ParseContentLength(const std::string& value, size_t* out) {
   }
   uint64_t parsed = 0;
   if (!ParseUnsigned(value, &parsed)) return ContentLengthParse::kOverflow;
-  *out = static_cast<size_t>(parsed);
+  // uint64_t -> size_t is lossless on every supported (64-bit) target, and
+  // ParseUnsigned already rejected values that overflow uint64_t.
+  *out = static_cast<size_t>(parsed);  // NOLINT(analyze-narrowing): lossless.
   return ContentLengthParse::kOk;
 }
 

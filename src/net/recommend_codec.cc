@@ -1,7 +1,9 @@
 #include "net/recommend_codec.h"
 
+#include <cstdint>
 #include <utility>
 
+#include "common/parse.h"
 #include "common/units.h"
 #include "minispark/cluster.h"
 
@@ -208,9 +210,23 @@ StatusOr<std::vector<online::Observation>> ParseObservationsJson(
                                      std::to_string(online::kMaxAppBytes) +
                                      " bytes");
     }
-    o.target = static_cast<int>(record.NumberOr("target", 0.0));
-    o.model_version =
-        static_cast<uint64_t>(record.NumberOr("model_version", 0.0));
+    // NumberOr yields an arbitrary double (1e30, -1e30, NaN all reach
+    // here); converting out-of-range doubles with static_cast is undefined
+    // behavior, so every conversion below goes through a checked helper.
+    const double target = record.NumberOr("target", 0.0);
+    int32_t target32 = 0;
+    if (!DoubleToInt32(target, &target32)) {
+      return Status::InvalidArgument(at +
+                                     ": 'target' must be a 32-bit integer");
+    }
+    o.target = target32;
+    const double model_version = record.NumberOr("model_version", 0.0);
+    uint64_t model_version64 = 0;
+    if (!DoubleToUint64(model_version, &model_version64)) {
+      return Status::InvalidArgument(
+          at + ": 'model_version' must be a non-negative integer");
+    }
+    o.model_version = model_version64;
     const Json* params = record.Find("params");
     if (params == nullptr || !params->is_object()) {
       return Status::InvalidArgument(at +
@@ -218,9 +234,14 @@ StatusOr<std::vector<online::Observation>> ParseObservationsJson(
     }
     o.params.examples = params->NumberOr("examples", 0.0);
     o.params.features = params->NumberOr("features", 0.0);
-    o.params.iterations = static_cast<int>(params->NumberOr("iterations", 1.0));
-    if (o.params.examples <= 0.0 || o.params.features <= 0.0 ||
-        o.params.iterations < 0) {
+    const double iterations = params->NumberOr("iterations", 1.0);
+    int32_t iterations32 = 0;
+    if (!DoubleToInt32(iterations, &iterations32) || iterations32 < 0) {
+      return Status::InvalidArgument(
+          at + ": 'params.iterations' must be an integer >= 0");
+    }
+    o.params.iterations = iterations32;
+    if (o.params.examples <= 0.0 || o.params.features <= 0.0) {
       return Status::InvalidArgument(
           at + ": 'params.examples'/'params.features' must be > 0");
     }

@@ -700,6 +700,42 @@ TEST(HttpRecommendServerTest, ObserveRejectsMalformedBodies) {
   EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/v1/observe")).status, 405);
 }
 
+// Regression test for an analyze-narrowing finding: ParseObservationsJson
+// used to `static_cast<int>` / `static_cast<uint64_t>` the raw JSON doubles
+// for target/model_version/iterations. A body like `"target":1e30` reached
+// an out-of-range float-to-int conversion — undefined behavior (UBSan
+// float-cast-overflow) — before any range validation ran. The fields now go
+// through the checked conversions in common/parse.h and reject with 400.
+TEST(HttpRecommendServerTest, ObserveRejectsOutOfRangeNumericFields) {
+  RecommendFixture f("observe_range", /*with_online=*/true);
+  const auto status_of = [&](const std::string& body) {
+    return f.server->Handle(MakeRequest("POST", "/v1/observe", body)).status;
+  };
+  const auto obs = [](const std::string& target, const std::string& version,
+                      const std::string& iterations) {
+    return std::string(R"([{"kind":"run_time","app":"svm","target":)") +
+           target + R"(,"model_version":)" + version +
+           R"(,"params":{"examples":12000,"features":3000,"iterations":)" +
+           iterations + R"(},"value":800.0}])";
+  };
+  // target must fit int32.
+  EXPECT_EQ(status_of(obs("1e30", "0", "5")), 400);
+  EXPECT_EQ(status_of(obs("-1e30", "0", "5")), 400);
+  EXPECT_EQ(status_of(obs("2147483648", "0", "5")), 400);
+  // model_version must be a non-negative integer below 2^64.
+  EXPECT_EQ(status_of(obs("1", "-1", "5")), 400);
+  EXPECT_EQ(status_of(obs("1", "1e30", "5")), 400);
+  // iterations must be a non-negative int32.
+  EXPECT_EQ(status_of(obs("1", "0", "1e30")), 400);
+  EXPECT_EQ(status_of(obs("1", "0", "-3")), 400);
+  // Nothing out of range ever reaches the buffer.
+  EXPECT_EQ(f.online->collector().GetStats().ingested, 0u);
+  // The extremes of the valid ranges still ingest.
+  EXPECT_EQ(status_of(obs("2147483647", "9007199254740992", "0")), 200);
+  EXPECT_EQ(status_of(obs("-2147483648", "0", "5")), 200);
+  EXPECT_EQ(f.online->collector().GetStats().ingested, 2u);
+}
+
 // ---------------------------------------------------------------------------
 // /v1/recommend with multi-objective weights.
 // ---------------------------------------------------------------------------

@@ -1,4 +1,4 @@
-#include "tools/lint/lint_rules.h"
+#include "tools/analyze/engine.h"
 
 #include <algorithm>
 #include <string>
@@ -6,7 +6,7 @@
 
 #include <gtest/gtest.h>
 
-namespace juggler::lint {
+namespace juggler::analyze {
 namespace {
 
 bool HasRule(const std::vector<Finding>& findings, const std::string& rule) {
@@ -461,4 +461,4 @@ TEST(LintTree, RealSourceTreeIsClean) {
 }
 
 }  // namespace
-}  // namespace juggler::lint
+}  // namespace juggler::analyze

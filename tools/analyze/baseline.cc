@@ -1,0 +1,119 @@
+#include "tools/analyze/baseline.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace juggler::analyze {
+
+namespace {
+
+/// Collapses runs of whitespace to single spaces and trims both ends, so a
+/// re-indent does not orphan a baseline entry.
+std::string NormalizeWhitespace(const std::string& s) {
+  std::string out;
+  bool in_space = true;  // Leading whitespace is dropped.
+  for (char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      in_space = true;
+      continue;
+    }
+    if (in_space && !out.empty()) out.push_back(' ');
+    in_space = false;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string BaselineKey(const Finding& finding, const std::string& line_text) {
+  return finding.file + "|" + finding.rule + "|" +
+         NormalizeWhitespace(line_text);
+}
+
+Baseline ParseBaseline(const std::string& text) {
+  Baseline baseline;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    ++baseline.entries[line.substr(first)];
+  }
+  return baseline;
+}
+
+std::string SerializeBaseline(const std::vector<std::string>& keys) {
+  std::vector<std::string> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  std::ostringstream out;
+  out << "# juggler_analyze findings baseline. One `file|rule|line-text` "
+         "key per line;\n"
+         "# pre-existing findings listed here warn instead of failing. "
+         "Regenerate with\n"
+         "#   juggler_analyze <repo-root> --write-baseline\n"
+         "# Shrinking this file is always welcome; growing it needs review, "
+         "like a NOLINT.\n";
+  for (const std::string& key : sorted) out << key << "\n";
+  return out.str();
+}
+
+void PartitionAgainstBaseline(const std::vector<Finding>& findings,
+                              const std::vector<std::string>& keys,
+                              const Baseline& baseline,
+                              std::vector<Finding>* baselined,
+                              std::vector<Finding>* fresh) {
+  std::map<std::string, int> remaining = baseline.entries;
+  for (size_t i = 0; i < findings.size(); ++i) {
+    auto it = remaining.find(keys[i]);
+    if (it != remaining.end() && it->second > 0) {
+      --it->second;
+      baselined->push_back(findings[i]);
+    } else {
+      fresh->push_back(findings[i]);
+    }
+  }
+}
+
+std::map<std::string, std::set<int>> ParseChangedLines(
+    const std::string& unified_diff) {
+  std::map<std::string, std::set<int>> changed;
+  std::istringstream in(unified_diff);
+  std::string line;
+  std::string current_file;
+  while (std::getline(in, line)) {
+    if (line.rfind("+++ ", 0) == 0) {
+      std::string path = line.substr(4);
+      if (path.rfind("b/", 0) == 0) path = path.substr(2);
+      current_file = path == "/dev/null" ? "" : path;
+      continue;
+    }
+    if (line.rfind("@@", 0) != 0 || current_file.empty()) continue;
+    // "@@ -a[,b] +c[,d] @@": the post-image range is +c[,d].
+    const size_t plus = line.find('+');
+    if (plus == std::string::npos) continue;
+    size_t pos = plus + 1;
+    int start = 0;
+    while (pos < line.size() &&
+           std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+      start = start * 10 + (line[pos] - '0');
+      ++pos;
+    }
+    int count = 1;
+    if (pos < line.size() && line[pos] == ',') {
+      ++pos;
+      count = 0;
+      while (pos < line.size() &&
+             std::isdigit(static_cast<unsigned char>(line[pos])) != 0) {
+        count = count * 10 + (line[pos] - '0');
+        ++pos;
+      }
+    }
+    for (int i = 0; i < count; ++i) changed[current_file].insert(start + i);
+  }
+  return changed;
+}
+
+}  // namespace juggler::analyze

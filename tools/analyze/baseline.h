@@ -1,0 +1,56 @@
+#ifndef JUGGLER_TOOLS_ANALYZE_BASELINE_H_
+#define JUGGLER_TOOLS_ANALYZE_BASELINE_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/engine.h"
+
+namespace juggler::analyze {
+
+/// \brief Findings baseline: pre-existing debt warns, new debt fails.
+///
+/// A baseline entry keys a finding by `file|rule|<normalized line text>`
+/// rather than by line number, so unrelated edits that shift a finding up
+/// or down the file do not invalidate the whole baseline. Entries are
+/// counted (a multiset): if the tree has three identical findings and the
+/// baseline lists two, one is fresh.
+///
+/// Workflow: `juggler_analyze <root> --write-baseline` regenerates
+/// tools/analyze/baseline.txt from the current tree; shrinking it is always
+/// welcome, growing it needs the same review a suppression does.
+struct Baseline {
+  /// key -> allowed count.
+  std::map<std::string, int> entries;
+};
+
+/// Key for one finding. `line_text` is the finding's source line verbatim;
+/// it is whitespace-normalized internally.
+std::string BaselineKey(const Finding& finding, const std::string& line_text);
+
+/// Parses the baseline file format: one key per line, '#' comments and
+/// blank lines ignored.
+Baseline ParseBaseline(const std::string& text);
+
+/// Serializes sorted keys (with repeats for counts) plus a header comment.
+std::string SerializeBaseline(const std::vector<std::string>& keys);
+
+/// Splits `findings` into (baselined, fresh) by consuming baseline counts
+/// in order. `keys[i]` must be BaselineKey of `findings[i]`.
+void PartitionAgainstBaseline(const std::vector<Finding>& findings,
+                              const std::vector<std::string>& keys,
+                              const Baseline& baseline,
+                              std::vector<Finding>* baselined,
+                              std::vector<Finding>* fresh);
+
+/// Changed lines per repo-relative file, parsed from `git diff -U0` output:
+/// "+++ b/<path>" headers and "@@ -a,b +c,d @@" hunks. Deleted-only hunks
+/// contribute nothing.
+std::map<std::string, std::set<int>> ParseChangedLines(
+    const std::string& unified_diff);
+
+}  // namespace juggler::analyze
+
+#endif  // JUGGLER_TOOLS_ANALYZE_BASELINE_H_

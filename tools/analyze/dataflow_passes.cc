@@ -1,0 +1,898 @@
+/// The four scope/dataflow analyses that needed the token engine: taint
+/// tracking from wire bytes to memory sinks, StatusOr/optional dereference
+/// discipline, GUARDED_BY cross-checking for gcc builds, and narrowing
+/// conversions on tainted values. All are intraprocedural and flow-
+/// insensitive about branch polarity: "dominated by a bounds comparison"
+/// means "a relational comparison involving the value appears earlier in
+/// the token stream of the same function". That approximation is documented
+/// in DESIGN.md §13 along with the known false-negative envelope.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "tools/analyze/passes.h"
+
+namespace juggler::analyze {
+
+namespace {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == TokenKind::kPunct && t.text == text;
+}
+
+bool IsIdentTok(const Token& t) { return t.kind == TokenKind::kIdentifier; }
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+/// The untrusted-byte surfaces: everything that decodes wire bytes or model
+/// artifacts. (The plan grammar lives under src/minispark/cache_plan*; the
+/// artifact loader under src/core/serialization*.)
+bool IsDecoderFile(const std::string& rel_path) {
+  return StartsWith(rel_path, "src/net/") ||
+         StartsWith(rel_path, "src/rpc/") ||
+         StartsWith(rel_path, "src/online/") ||
+         StartsWith(rel_path, "src/core/serialization") ||
+         StartsWith(rel_path, "src/minispark/cache_plan");
+}
+
+/// Functions whose parameters are wire-derived: the repo's decode entry
+/// points all use these verb prefixes.
+bool IsDecoderFunction(const std::string& name) {
+  static const char* const kPrefixes[] = {"Decode", "Parse",   "Read",
+                                          "Feed",   "Next",    "Consume",
+                                          "Load",   "FromWire"};
+  for (const char* p : kPrefixes) {
+    if (StartsWith(name, p)) return true;
+  }
+  return false;
+}
+
+bool IsRelationalOp(const Token& t) {
+  return t.kind == TokenKind::kPunct &&
+         (t.text == "<" || t.text == "<=" || t.text == ">" ||
+          t.text == ">=" || t.text == "==" || t.text == "!=");
+}
+
+size_t MatchParenFwd(const std::vector<Token>& toks, size_t open,
+                     size_t end) {
+  int depth = 0;
+  for (size_t i = open; i < end; ++i) {
+    if (IsPunct(toks[i], "(")) ++depth;
+    if (IsPunct(toks[i], ")")) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return kNpos;
+}
+
+/// Shared intraprocedural taint walk over one function body. Seeds every
+/// parameter of a decoder-named function, propagates through assignments
+/// and declarations whose right-hand side mentions a tainted value, and
+/// retires taint ("checked") once the value participates in a relational
+/// comparison (against anything but nullptr or a string literal) or a
+/// std::min/std::max/std::clamp call. Sinks are reported through the
+/// `mode` the owning pass selects.
+class TaintWalker {
+ public:
+  enum class Mode { kBounds, kNarrowing };
+
+  TaintWalker(const FileUnit& unit, const FunctionInfo& fn, Mode mode,
+              const char* rule, std::vector<Finding>* findings)
+      : unit_(unit), fn_(fn), mode_(mode), rule_(rule), findings_(findings) {}
+
+  void Run() {
+    for (const Variable& p : fn_.params) tainted_.insert(p.name);
+    const std::vector<Token>& toks = unit_.tokens;
+    for (size_t i = fn_.body_begin + 1; i + 1 < fn_.body_end; ++i) {
+      while (!pending_taints_.empty() && pending_taints_.front().first <= i) {
+        tainted_.insert(pending_taints_.front().second);
+        checked_.erase(pending_taints_.front().second);
+        pending_taints_.erase(pending_taints_.begin());
+      }
+      const Token& t = toks[i];
+      if (t.kind == TokenKind::kPunct) {
+        HandlePunct(toks, i);
+        continue;
+      }
+      if (!IsIdentTok(t)) continue;
+      if (HandleCallOpen(toks, i)) continue;
+      if (mode_ == Mode::kNarrowing && t.text == "static_cast") {
+        i = HandleStaticCast(toks, i);
+        continue;
+      }
+      HandleIdent(toks, i);
+    }
+  }
+
+ private:
+  struct Ctx {
+    char open;  ///< '(' or '['.
+    enum class Kind { kPlain, kSink, kClamp, kFor, kSubscript } kind;
+    const char* sink = "";  ///< Sink spelling for the message.
+  };
+
+  bool IsTaintedUnchecked(const std::string& ident) const {
+    return tainted_.count(ident) != 0 && checked_.count(ident) == 0;
+  }
+
+  /// Scalar values are the dangerous sink operands (sizes, counts,
+  /// offsets); buffer pointers/references themselves are excluded so the
+  /// destination argument of a memcpy does not fire.
+  bool IsScalarOperand(const std::string& ident) const {
+    const std::string* type = fn_.TypeOf(ident);
+    if (type == nullptr) return true;  // Unknown: stay conservative.
+    return type->find('*') == std::string::npos &&
+           type->find('&') == std::string::npos;
+  }
+
+  void Flag(const Token& at, const std::string& ident,
+            const std::string& what) {
+    if (!flagged_.insert({at.line, ident}).second) return;
+    findings_->push_back(Finding{
+        unit_.rel_path, at.line, rule_,
+        "'" + ident + "' " + what + " in '" + fn_.name +
+            "' with no dominating bounds comparison in this function: "
+            "wire-derived values must be range-checked before use "
+            "(escape: NOLINT(" + rule_ + "): reason)"});
+  }
+
+  void HandlePunct(const std::vector<Token>& toks, size_t i) {
+    const Token& t = toks[i];
+    if (t.text == "(") {
+      // Call/grouping context was classified by HandleCallOpen when the
+      // callee identifier was visited; a bare '(' is plain (or a for).
+      Ctx ctx{'(', Ctx::Kind::kPlain, ""};
+      if (pending_ctx_.open == '(') {
+        ctx = pending_ctx_;
+        pending_ctx_ = Ctx{};
+      }
+      stack_.push_back(ctx);
+      return;
+    }
+    if (t.text == ")") {
+      if (!stack_.empty() && stack_.back().open == '(') stack_.pop_back();
+      return;
+    }
+    if (t.text == "[") {
+      const bool subscript =
+          i > 0 && (IsIdentTok(toks[i - 1]) || IsPunct(toks[i - 1], ")") ||
+                    IsPunct(toks[i - 1], "]"));
+      stack_.push_back(
+          Ctx{'[', subscript ? Ctx::Kind::kSubscript : Ctx::Kind::kPlain,
+              "index"});
+      return;
+    }
+    if (t.text == "]") {
+      if (!stack_.empty() && stack_.back().open == '[') stack_.pop_back();
+      return;
+    }
+    if (IsRelationalOp(t)) {
+      MarkComparison(toks, i);
+      return;
+    }
+    if (t.text == "=" || t.text == "+=" || t.text == "-=" ||
+        t.text == "*=" || t.text == "|=" || t.text == "&=" ||
+        t.text == "^=" || t.text == "<<=" || t.text == ">>=") {
+      HandleAssignment(toks, i);
+      return;
+    }
+    if (t.text == ":" && InForHeader()) {
+      HandleRangeFor(toks, i);
+      return;
+    }
+    if (mode_ == Mode::kBounds && (t.text == "+" || t.text == "-")) {
+      HandlePointerArith(toks, i);
+      return;
+    }
+  }
+
+  /// Classifies the context the *next* '(' opens, based on the callee name.
+  bool HandleCallOpen(const std::vector<Token>& toks, size_t i) {
+    const Token& t = toks[i];
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], "(")) return false;
+    const std::string& callee = t.text;
+    if (callee == "memcpy" || callee == "memmove" || callee == "memset" ||
+        callee == "resize" || callee == "reserve") {
+      // `memcpy(&n, wire, sizeof(n))` is the idiomatic length-prefix read:
+      // the destination scalar inherits taint when any source operand is
+      // tainted (both modes — the value may later be narrowed, not just
+      // used as a size). Deferred past the call's closing paren so the
+      // defining call itself (`&n`, `sizeof(n)`) is not flagged as a use.
+      if (callee == "memcpy" || callee == "memmove") {
+        const size_t close = MatchParenFwd(toks, i + 1, fn_.body_end);
+        if (close != kNpos && i + 3 < close && IsPunct(toks[i + 2], "&") &&
+            IsIdentTok(toks[i + 3])) {
+          for (size_t k = i + 4; k < close; ++k) {
+            if (IsIdentTok(toks[k]) && tainted_.count(toks[k].text) != 0) {
+              pending_taints_.push_back({close + 1, toks[i + 3].text});
+              break;
+            }
+          }
+        }
+      }
+      if (mode_ == Mode::kBounds) {
+        pending_ctx_ = Ctx{'(', Ctx::Kind::kSink,
+                           callee == "resize" || callee == "reserve"
+                               ? "allocation size"
+                               : "memcpy-family argument"};
+      }
+      return false;  // Still process out-params etc. below if ever needed.
+    }
+    if (callee == "min" || callee == "max" || callee == "clamp") {
+      pending_ctx_ = Ctx{'(', Ctx::Kind::kClamp, ""};
+      return false;
+    }
+    if (callee == "for") {
+      pending_ctx_ = Ctx{'(', Ctx::Kind::kFor, ""};
+      return true;
+    }
+    // A Parse*/Read*/Decode* call taints any &out argument.
+    if (IsDecoderFunction(callee)) {
+      const size_t close = MatchParenFwd(toks, i + 1, fn_.body_end);
+      if (close != kNpos) {
+        for (size_t k = i + 2; k < close; ++k) {
+          if (IsPunct(toks[k], "&") && k + 1 < close &&
+              IsIdentTok(toks[k + 1])) {
+            tainted_.insert(toks[k + 1].text);
+            checked_.erase(toks[k + 1].text);
+          }
+        }
+      }
+    }
+    return false;
+  }
+
+  bool InForHeader() const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->open == '(') return it->kind == Ctx::Kind::kFor;
+    }
+    return false;
+  }
+
+  /// `for (const T& v : expr)`: taints v when expr mentions taint.
+  void HandleRangeFor(const std::vector<Token>& toks, size_t colon) {
+    if (colon == 0 || !IsIdentTok(toks[colon - 1])) return;
+    const std::string var = toks[colon - 1].text;
+    int depth = 1;
+    for (size_t k = colon + 1; k < fn_.body_end && depth > 0; ++k) {
+      if (IsPunct(toks[k], "(")) ++depth;
+      if (IsPunct(toks[k], ")")) --depth;
+      if (IsIdentTok(toks[k]) && tainted_.count(toks[k].text) != 0) {
+        tainted_.insert(var);
+        checked_.erase(var);
+        return;
+      }
+    }
+  }
+
+  /// A relational comparison retires taint on its *operands*: identifiers
+  /// in the arithmetic expression on either side of the op, plus the
+  /// receiver of a `.size()`/`.length()` call (comparing a buffer's size IS
+  /// the bounds check for that buffer). Values that merely appear nearby as
+  /// receivers of other member calls (`json.array_items().size()`) are NOT
+  /// marked — the call result was compared, not the object. Comparisons
+  /// against nullptr, `npos`, or a string literal compare identity/content,
+  /// not range, and mark nothing.
+  void MarkComparison(const std::vector<Token>& toks, size_t op) {
+    constexpr size_t kWindow = 10;
+    bool degenerate = false;
+    std::vector<std::string> operands;
+
+    // Backward (left side).
+    {
+      size_t k = op;
+      for (size_t steps = 0; steps < kWindow && k > fn_.body_begin; ++steps) {
+        --k;
+        const Token& t = toks[k];
+        if (t.kind == TokenKind::kString) {
+          degenerate = true;
+          break;
+        }
+        if (IsIdentTok(t)) {
+          if (t.text == "nullptr" || t.text == "npos") degenerate = true;
+          operands.push_back(t.text);
+          continue;
+        }
+        if (t.kind == TokenKind::kNumber ||
+            t.kind == TokenKind::kCharLiteral) {
+          continue;
+        }
+        if (IsPunct(t, ")") && k >= 3 && IsPunct(toks[k - 1], "(") &&
+            IsIdentTok(toks[k - 2]) &&
+            (toks[k - 2].text == "size" || toks[k - 2].text == "length") &&
+            (IsPunct(toks[k - 3], ".") || IsPunct(toks[k - 3], "->"))) {
+          k -= 3;  // Land on the '.': the next step marks the receiver.
+          continue;
+        }
+        if (IsPunct(t, "+") || IsPunct(t, "-") || IsPunct(t, "*") ||
+            IsPunct(t, "/") || IsPunct(t, "%")) {
+          continue;
+        }
+        break;  // '.', '->', '(', ';', '&&', other calls: opaque.
+      }
+    }
+    // Forward (right side).
+    {
+      size_t k = op;
+      for (size_t steps = 0; steps < kWindow && k + 1 < fn_.body_end;
+           ++steps) {
+        ++k;
+        const Token& t = toks[k];
+        if (t.kind == TokenKind::kString) {
+          degenerate = true;
+          break;
+        }
+        if (IsIdentTok(t)) {
+          if (t.text == "nullptr" || t.text == "npos") {
+            degenerate = true;
+            break;
+          }
+          if (k + 1 < fn_.body_end &&
+              (IsPunct(toks[k + 1], ".") || IsPunct(toks[k + 1], "->"))) {
+            const bool size_call =
+                k + 3 < fn_.body_end && IsIdentTok(toks[k + 2]) &&
+                (toks[k + 2].text == "size" ||
+                 toks[k + 2].text == "length") &&
+                IsPunct(toks[k + 3], "(");
+            if (!size_call) break;  // Opaque member chain: stop unmarked.
+            operands.push_back(t.text);
+            k += 4;  // Past "x . size (" — loop advances over ")".
+            continue;
+          }
+          operands.push_back(t.text);
+          continue;
+        }
+        if (t.kind == TokenKind::kNumber ||
+            t.kind == TokenKind::kCharLiteral) {
+          continue;
+        }
+        if (IsPunct(t, "+") || IsPunct(t, "-") || IsPunct(t, "*") ||
+            IsPunct(t, "/") || IsPunct(t, "%")) {
+          continue;
+        }
+        break;  // ')', ';', '&&', '||', ',': end of the compared expression.
+      }
+    }
+    if (degenerate) return;
+    for (const std::string& ident : operands) {
+      if (tainted_.count(ident) != 0) checked_.insert(ident);
+    }
+  }
+
+  /// `v = rhs` / `v += rhs`: v's taint is recomputed from the RHS; any
+  /// earlier bounds check on v no longer covers the new value.
+  void HandleAssignment(const std::vector<Token>& toks, size_t eq) {
+    if (eq == 0 || !IsIdentTok(toks[eq - 1])) return;
+    // Member assignments (`o.target = ...`) are field writes, not locals.
+    if (eq >= 2 &&
+        (IsPunct(toks[eq - 2], ".") || IsPunct(toks[eq - 2], "->"))) {
+      return;
+    }
+    const std::string var = toks[eq - 1].text;
+    bool rhs_tainted = false;
+    bool rhs_all_checked = true;
+    bool rhs_clamped = false;
+    int depth = 0;
+    for (size_t k = eq + 1; k < fn_.body_end; ++k) {
+      const Token& t = toks[k];
+      if (IsIdentTok(t) && k + 1 < fn_.body_end && IsPunct(toks[k + 1], "(") &&
+          (t.text == "min" || t.text == "max" || t.text == "clamp")) {
+        rhs_clamped = true;  // std::min/max/clamp bound their result.
+      }
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "]") {
+          if (depth == 0) break;  // Inside a call argument list: stop.
+          --depth;
+        }
+        if ((t.text == ";" || t.text == "{" || t.text == "}") && depth <= 0) {
+          break;
+        }
+        if (t.text == "," && depth == 0) break;
+      }
+      if (IsIdentTok(t) && tainted_.count(t.text) != 0) {
+        rhs_tainted = true;
+        if (checked_.count(t.text) == 0) rhs_all_checked = false;
+      }
+    }
+    const bool compound = !IsPunct(toks[eq], "=");
+    if (rhs_tainted) {
+      // A value derived only from already-range-checked values inherits
+      // "checked" (e.g. `digit = c - '0'` after `c >= '0' && c <= '9'`).
+      tainted_.insert(var);
+      if ((rhs_all_checked || rhs_clamped) && !compound) {
+        checked_.insert(var);
+      } else {
+        checked_.erase(var);
+      }
+    } else if (!compound) {
+      tainted_.erase(var);
+      checked_.erase(var);
+    } else if (tainted_.count(var) != 0) {
+      checked_.erase(var);  // offset += clean still moves the value.
+    }
+  }
+
+  /// `p + v` where p is pointer-typed (or a .data()/.begin()/.c_str()
+  /// chain): pointer arithmetic with a tainted offset.
+  void HandlePointerArith(const std::vector<Token>& toks, size_t op) {
+    if (op + 1 >= fn_.body_end || !IsIdentTok(toks[op + 1])) return;
+    const std::string& rhs = toks[op + 1].text;
+    if (!IsTaintedUnchecked(rhs) || !IsScalarOperand(rhs)) return;
+    bool pointerish = false;
+    if (op > 0 && IsIdentTok(toks[op - 1])) {
+      const std::string* type = fn_.TypeOf(toks[op - 1].text);
+      pointerish = type != nullptr && type->find('*') != std::string::npos;
+    } else if (op >= 3 && IsPunct(toks[op - 1], ")") &&
+               IsPunct(toks[op - 2], "(") && IsIdentTok(toks[op - 3])) {
+      const std::string& call = toks[op - 3].text;
+      pointerish = call == "data" || call == "begin" || call == "end" ||
+                   call == "c_str";
+    }
+    if (pointerish) Flag(toks[op + 1], rhs, "used as a pointer offset");
+  }
+
+  size_t HandleStaticCast(const std::vector<Token>& toks, size_t i) {
+    static const char* const kIntegral[] = {
+        "int",      "int8_t",  "int16_t",  "int32_t", "int64_t",
+        "uint8_t",  "uint16_t", "uint32_t", "uint64_t", "short",
+        "long",     "size_t",  "unsigned", "char",
+    };
+    if (i + 1 >= fn_.body_end || !IsPunct(toks[i + 1], "<")) return i;
+    size_t gt = i + 2;
+    bool integral = false;
+    while (gt < fn_.body_end && !IsPunct(toks[gt], ">")) {
+      if (IsIdentTok(toks[gt])) {
+        for (const char* name : kIntegral) {
+          if (toks[gt].text == name) integral = true;
+        }
+      }
+      if (IsPunct(toks[gt], "*") || IsPunct(toks[gt], "&")) {
+        integral = false;  // Pointer cast, not a value conversion.
+        break;
+      }
+      ++gt;
+    }
+    if (!integral || gt + 1 >= fn_.body_end || !IsPunct(toks[gt + 1], "(")) {
+      return i;
+    }
+    const size_t close = MatchParenFwd(toks, gt + 1, fn_.body_end);
+    if (close == kNpos) return i;
+    for (size_t k = gt + 2; k < close; ++k) {
+      if (IsIdentTok(toks[k]) && IsTaintedUnchecked(toks[k].text)) {
+        // `p[i]` on a tainted byte pointer loads one byte: widening it to
+        // a larger integral type is always in range. (The value flagged
+        // here must be the wide side of the conversion.)
+        if (k + 1 < close && IsPunct(toks[k + 1], "[")) {
+          const std::string* type = fn_.TypeOf(toks[k].text);
+          if (type != nullptr && type->find('*') != std::string::npos) {
+            continue;
+          }
+        }
+        findings_->push_back(Finding{
+            unit_.rel_path, toks[i].line, rule_,
+            "static_cast to an integral type of a wire-derived value "
+            "('" + toks[k].text + "') in '" + fn_.name +
+                "' with no dominating range check: out-of-range "
+                "float-to-int conversion is undefined behavior; validate "
+                "first or use a checked conversion from common/parse.h "
+                "(escape: NOLINT(" + std::string(rule_) + "): reason)"});
+        break;
+      }
+    }
+    return close;
+  }
+
+  /// Implicit narrowing declarations (`int n = wide;`) and sink-context
+  /// occurrences of tainted identifiers.
+  void HandleIdent(const std::vector<Token>& toks, size_t i) {
+    const std::string& ident = toks[i].text;
+    if (mode_ == Mode::kNarrowing) {
+      HandleNarrowDecl(toks, i);
+      return;
+    }
+    if (!IsTaintedUnchecked(ident) || !IsScalarOperand(ident)) return;
+    // Inside a clamp call the value is being bounded, not used.
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Ctx::Kind::kClamp) {
+        checked_.insert(ident);
+        return;
+      }
+    }
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->kind == Ctx::Kind::kSubscript) {
+        Flag(toks[i], ident, "used as a subscript index");
+        return;
+      }
+      if (it->kind == Ctx::Kind::kSink) {
+        Flag(toks[i], ident, std::string("used as a ") + it->sink);
+        return;
+      }
+    }
+  }
+
+  void HandleNarrowDecl(const std::vector<Token>& toks, size_t i) {
+    static const char* const kNarrow[] = {"int",     "int8_t",  "int16_t",
+                                          "int32_t", "uint8_t", "uint16_t",
+                                          "short",   "char"};
+    static const char* const kWide[] = {"size_t",  "uint32_t", "uint64_t",
+                                        "int64_t", "double",   "long",
+                                        "ssize_t", "ptrdiff_t"};
+    // `v = rhs` where v is a narrow local and rhs mentions a tainted value
+    // of wide (or unknown-wide call) type.
+    if (i + 1 >= fn_.body_end || !IsPunct(toks[i + 1], "=")) return;
+    if (i > 0 && (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->"))) {
+      return;
+    }
+    const std::string* type = fn_.TypeOf(toks[i].text);
+    if (type == nullptr) return;
+    bool narrow = false;
+    for (const char* n : kNarrow) {
+      const size_t pos = type->find(n);
+      if (pos != std::string::npos &&
+          (pos == 0 || !IsIdentChar((*type)[pos - 1])) &&
+          (pos + std::string(n).size() == type->size() ||
+           !IsIdentChar((*type)[pos + std::string(n).size()]))) {
+        narrow = true;
+      }
+    }
+    if (!narrow || type->find('*') != std::string::npos) return;
+    // Scan the RHS for a tainted, unchecked identifier of wide type.
+    int depth = 0;
+    for (size_t k = i + 2; k < fn_.body_end; ++k) {
+      const Token& t = toks[k];
+      if (t.kind == TokenKind::kPunct) {
+        if (t.text == "(" || t.text == "[") ++depth;
+        if (t.text == ")" || t.text == "]") {
+          if (depth == 0) break;
+          --depth;
+        }
+        if ((t.text == ";" || t.text == "{") && depth <= 0) break;
+        if (t.text == "," && depth == 0) break;
+      }
+      if (!IsIdentTok(t) || !IsTaintedUnchecked(t.text)) continue;
+      const std::string* rhs_type = fn_.TypeOf(t.text);
+      bool wide = false;
+      if (rhs_type != nullptr) {
+        for (const char* w : kWide) {
+          if (rhs_type->find(w) != std::string::npos) wide = true;
+        }
+      }
+      // Wide-producing calls on a tainted receiver also count.
+      if (k + 2 < fn_.body_end &&
+          (IsPunct(toks[k + 1], ".") || IsPunct(toks[k + 1], "->")) &&
+          IsIdentTok(toks[k + 2])) {
+        const std::string& member = toks[k + 2].text;
+        if (member == "size" || member == "length" ||
+            member == "NumberOr" || member == "number_value") {
+          wide = true;
+        }
+      }
+      if (!wide) continue;
+      findings_->push_back(Finding{
+          unit_.rel_path, toks[i].line, rule_,
+          "narrowing assignment of wire-derived '" + t.text + "' into " +
+              *type + " '" + toks[i].text + "' in '" + fn_.name +
+              "' with no dominating range check "
+              "(escape: NOLINT(" + std::string(rule_) + "): reason)"});
+      return;
+    }
+  }
+
+  const FileUnit& unit_;
+  const FunctionInfo& fn_;
+  const Mode mode_;
+  const char* rule_;
+  std::vector<Finding>* findings_;
+
+  std::set<std::string> tainted_;
+  std::set<std::string> checked_;
+  std::vector<Ctx> stack_;
+  Ctx pending_ctx_{};
+  std::set<std::pair<int, std::string>> flagged_;
+  /// (token index, ident): taints applied once the walk passes the index
+  /// (memcpy length-prefix reads; see HandleCallOpen).
+  std::vector<std::pair<size_t, std::string>> pending_taints_;
+};
+
+/// (1) Taint-to-sink decoder checking.
+class TaintBoundsPass final : public Pass {
+ public:
+  const char* name() const override { return "analyze-taint-bounds"; }
+  void Run(const FileUnit& unit, const TreeContext&,
+           std::vector<Finding>* findings) const override {
+    if (!IsDecoderFile(unit.rel_path)) return;
+    for (const FunctionInfo& fn : unit.functions) {
+      if (!IsDecoderFunction(fn.name)) continue;
+      TaintWalker(unit, fn, TaintWalker::Mode::kBounds, name(), findings)
+          .Run();
+    }
+  }
+};
+
+/// (4) Narrowing-in-decoder checking.
+class NarrowingPass final : public Pass {
+ public:
+  const char* name() const override { return "analyze-narrowing"; }
+  void Run(const FileUnit& unit, const TreeContext&,
+           std::vector<Finding>* findings) const override {
+    if (!IsDecoderFile(unit.rel_path)) return;
+    for (const FunctionInfo& fn : unit.functions) {
+      if (!IsDecoderFunction(fn.name)) continue;
+      TaintWalker(unit, fn, TaintWalker::Mode::kNarrowing, name(), findings)
+          .Run();
+    }
+  }
+};
+
+/// (2) Unchecked StatusOr/optional dereference.
+class UncheckedDerefPass final : public Pass {
+ public:
+  const char* name() const override { return "analyze-unchecked-deref"; }
+  void Run(const FileUnit& unit, const TreeContext& ctx,
+           std::vector<Finding>* findings) const override {
+    if (!StartsWith(unit.rel_path, "src/")) return;
+    for (const FunctionInfo& fn : unit.functions) {
+      CheckFunction(unit, ctx, fn, findings);
+    }
+  }
+
+ private:
+  static bool TypeIsWrapped(const std::string& type) {
+    return type.find("StatusOr") != std::string::npos ||
+           type.find("optional") != std::string::npos;
+  }
+
+  void CheckFunction(const FileUnit& unit, const TreeContext& ctx,
+                     const FunctionInfo& fn,
+                     std::vector<Finding>* findings) const {
+    const std::vector<Token>& toks = unit.tokens;
+    // Wrapped values in scope: params with StatusOr/optional types, locals
+    // with explicit wrapped types, and `auto` locals initialized from a
+    // function declared to return StatusOr/optional.
+    std::set<std::string> wrapped;
+    for (const Variable& v : fn.params) {
+      if (TypeIsWrapped(v.type)) wrapped.insert(v.name);
+    }
+    for (const Variable& v : fn.locals) {
+      if (TypeIsWrapped(v.type)) {
+        wrapped.insert(v.name);
+        continue;
+      }
+      if (v.type.find("auto") == std::string::npos) continue;
+      // Find `v = callee(...)` in the body and test the callee name.
+      for (size_t k = fn.body_begin + 1; k + 2 < fn.body_end; ++k) {
+        if (!IsIdentTok(toks[k]) || toks[k].text != v.name) continue;
+        if (!IsPunct(toks[k + 1], "=")) continue;
+        for (size_t c = k + 2; c + 1 < fn.body_end; ++c) {
+          if (IsPunct(toks[c], ";")) break;
+          if (IsIdentTok(toks[c]) && IsPunct(toks[c + 1], "(") &&
+              (ctx.statusor_returning.count(toks[c].text) != 0 ||
+               ctx.optional_returning.count(toks[c].text) != 0)) {
+            wrapped.insert(v.name);
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (wrapped.empty()) return;
+
+    std::set<std::string> validated;
+    std::set<std::pair<int, std::string>> flagged;
+    for (size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (!IsIdentTok(t) || wrapped.count(t.text) == 0) continue;
+      const std::string& v = t.text;
+      // A container of wrapped values is validated/dereferenced through a
+      // subscript (`responses[i].ok()`, `*responses[i]`): look through one
+      // balanced [...] group. Validation is coarse (any element counts).
+      size_t after = i;
+      if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "[")) {
+        int brackets = 0;
+        for (size_t k = i + 1; k < fn.body_end; ++k) {
+          if (IsPunct(toks[k], "[")) ++brackets;
+          if (IsPunct(toks[k], "]")) {
+            --brackets;
+            if (brackets == 0) {
+              after = k;
+              break;
+            }
+          }
+        }
+        if (after == i) continue;  // Unbalanced: bail on this use.
+      }
+      const Token* next = after + 1 < fn.body_end ? &toks[after + 1] : nullptr;
+      const Token* prev = i > fn.body_begin ? &toks[i - 1] : nullptr;
+
+      // Validation forms: v.ok(), v.has_value(), !v, if (v), v ==/!= ...
+      if (next != nullptr &&
+          (IsPunct(*next, ".") || IsPunct(*next, "->")) &&
+          after + 2 < fn.body_end && IsIdentTok(toks[after + 2]) &&
+          (toks[after + 2].text == "ok" ||
+           toks[after + 2].text == "has_value")) {
+        validated.insert(v);
+        continue;
+      }
+      if (prev != nullptr && IsPunct(*prev, "!")) {
+        validated.insert(v);
+        continue;
+      }
+      if (prev != nullptr && IsPunct(*prev, "(") && next != nullptr &&
+          IsPunct(*next, ")") && i >= 2 && IsIdentTok(toks[i - 2]) &&
+          (toks[i - 2].text == "if" || toks[i - 2].text == "while")) {
+        validated.insert(v);
+        continue;
+      }
+      if (next != nullptr && (IsPunct(*next, "==") || IsPunct(*next, "!="))) {
+        validated.insert(v);
+        continue;
+      }
+      // Re-assignment: the wrapped value changed; require a fresh check.
+      if (next != nullptr && IsPunct(*next, "=")) {
+        validated.erase(v);
+        continue;
+      }
+
+      // Dereference forms: *v, v->, v.value().
+      bool deref = false;
+      const char* how = "";
+      if (next != nullptr && IsPunct(*next, "->")) {
+        deref = true;
+        how = "operator->";
+      } else if (next != nullptr && IsPunct(*next, ".") &&
+                 after + 3 < fn.body_end && IsIdentTok(toks[after + 2]) &&
+                 toks[after + 2].text == "value" &&
+                 IsPunct(toks[after + 3], "(")) {
+        deref = true;
+        how = ".value()";
+      } else if (prev != nullptr && IsPunct(*prev, "*")) {
+        // Unary '*' only: the token before it must not end an operand.
+        const Token* before = i >= 2 ? &toks[i - 2] : nullptr;
+        const bool binary =
+            before != nullptr &&
+            (before->kind == TokenKind::kNumber ||
+             IsPunct(*before, ")") || IsPunct(*before, "]") ||
+             (IsIdentTok(*before) && before->text != "return" &&
+              before->text != "case" && before->text != "co_return"));
+        if (!binary) {
+          deref = true;
+          how = "operator*";
+        }
+      }
+      if (deref && validated.count(v) == 0 &&
+          flagged.insert({t.line, v}).second) {
+        findings->push_back(Finding{
+            unit.rel_path, t.line, name(),
+            "'" + v + "' dereferenced via " + how + " in '" + fn.name +
+                "' without a dominating ok()/has_value() check: an error "
+                "value makes this undefined behavior; test it first "
+                "(escape: NOLINT(analyze-unchecked-deref): reason)"});
+      }
+    }
+  }
+};
+
+/// (3) GUARDED_BY cross-check: gives gcc builds the field-access checking
+/// clang's -Wthread-safety gives clang builds.
+class GuardedFieldPass final : public Pass {
+ public:
+  const char* name() const override { return "analyze-guarded-field"; }
+  void Run(const FileUnit& unit, const TreeContext& ctx,
+           std::vector<Finding>* findings) const override {
+    if (!StartsWith(unit.rel_path, "src/")) return;
+    const std::string stem = FileStem(unit.rel_path);
+    const auto fields_it = ctx.guarded_fields.find(stem);
+    if (fields_it == ctx.guarded_fields.end()) return;
+    const auto& fields = fields_it->second;
+    const auto classes_it = ctx.class_names.find(stem);
+    const auto requires_it = ctx.requires_methods.find(stem);
+
+    for (const FunctionInfo& fn : unit.functions) {
+      if (fn.name.empty() || fn.name[0] == '~') continue;  // Destructors.
+      const bool is_ctor =
+          fn.name == fn.qualifier ||
+          (classes_it != ctx.class_names.end() &&
+           classes_it->second.count(fn.name) != 0 && fn.qualifier.empty());
+      if (is_ctor) continue;  // Construction predates sharing.
+      CheckFunction(unit, fn, fields,
+                    requires_it != ctx.requires_methods.end()
+                        ? &requires_it->second
+                        : nullptr,
+                    findings);
+    }
+  }
+
+ private:
+  void CheckFunction(
+      const FileUnit& unit, const FunctionInfo& fn,
+      const std::map<std::string, std::string>& fields,
+      const std::map<std::string, std::set<std::string>>* requires_map,
+      std::vector<Finding>* findings) const {
+    const std::vector<Token>& toks = unit.tokens;
+    std::set<std::string> base_held(fn.requires_held.begin(),
+                                    fn.requires_held.end());
+    if (requires_map != nullptr) {
+      const auto it = requires_map->find(fn.name);
+      if (it != requires_map->end()) {
+        base_held.insert(it->second.begin(), it->second.end());
+      }
+    }
+    // (depth, mutex) entries for MutexLock / AssertHeld scopes.
+    std::vector<std::pair<int, std::string>> held;
+    int depth = 0;
+    std::set<std::pair<int, std::string>> flagged;
+    for (size_t i = fn.body_begin; i < fn.body_end; ++i) {
+      const Token& t = toks[i];
+      if (IsPunct(t, "{")) {
+        ++depth;
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        --depth;
+        while (!held.empty() && held.back().first > depth) held.pop_back();
+        continue;
+      }
+      if (!IsIdentTok(t)) continue;
+      if (t.text == "MutexLock" && i + 2 < fn.body_end &&
+          IsIdentTok(toks[i + 1]) && IsPunct(toks[i + 2], "(")) {
+        const size_t close = MatchParenFwd(toks, i + 2, fn.body_end);
+        if (close != kNpos) {
+          std::string mu;
+          for (size_t k = i + 3; k < close; ++k) {
+            if (IsIdentTok(toks[k])) mu = toks[k].text;
+          }
+          if (!mu.empty()) held.emplace_back(depth, mu);
+        }
+        continue;
+      }
+      if ((t.text == "AssertHeld" || t.text == "TryLock") && i >= 2 &&
+          (IsPunct(toks[i - 1], ".") || IsPunct(toks[i - 1], "->")) &&
+          IsIdentTok(toks[i - 2])) {
+        held.emplace_back(depth, toks[i - 2].text);
+        continue;
+      }
+      const auto field_it = fields.find(t.text);
+      if (field_it == fields.end()) continue;
+      if (fn.TypeOf(t.text) != nullptr) continue;  // Shadowed by a local.
+      if (i + 1 < fn.body_end && IsPunct(toks[i + 1], "(")) continue;
+      const std::string& mu = field_it->second;
+      bool ok = base_held.count(mu) != 0;
+      for (const auto& [d, name] : held) {
+        if (name == mu) ok = true;
+      }
+      if (!ok && flagged.insert({t.line, t.text}).second) {
+        findings->push_back(Finding{
+            unit.rel_path, t.line, name(),
+            "'" + t.text + "' is GUARDED_BY(" + mu + ") but '" + fn.name +
+                "' touches it with no MutexLock(&" + mu + ") in scope, no " +
+                mu + ".AssertHeld(), and no REQUIRES(" + mu +
+                ") annotation (escape: NOLINT(analyze-guarded-field): "
+                "reason)"});
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const Pass*>& DataflowPasses() {
+  static const std::vector<const Pass*>* passes = [] {
+    return new std::vector<const Pass*>{
+        new TaintBoundsPass,
+        new UncheckedDerefPass,
+        new GuardedFieldPass,
+        new NarrowingPass,
+    };
+  }();
+  return *passes;
+}
+
+}  // namespace juggler::analyze

@@ -1,0 +1,23 @@
+#ifndef JUGGLER_TOOLS_ANALYZE_PASSES_H_
+#define JUGGLER_TOOLS_ANALYZE_PASSES_H_
+
+#include <vector>
+
+#include "tools/analyze/engine.h"
+
+/// Internal registry glue between engine.cc and the two pass translation
+/// units. Not part of the public surface; include engine.h instead.
+namespace juggler::analyze {
+
+/// The eleven line-scoped rules ported from tools/lint (PR 2 + PR 7),
+/// behavior-identical. Rule names are unchanged ("naked-new", ...).
+const std::vector<const Pass*>& LegacyPasses();
+
+/// The four scope/dataflow analyses new in this layer. Rule names are
+/// prefixed "analyze-" (analyze-taint-bounds, analyze-unchecked-deref,
+/// analyze-guarded-field, analyze-narrowing).
+const std::vector<const Pass*>& DataflowPasses();
+
+}  // namespace juggler::analyze
+
+#endif  // JUGGLER_TOOLS_ANALYZE_PASSES_H_
