@@ -1,5 +1,6 @@
 #include "cluster/router.h"
 
+#include <algorithm>
 #include <chrono>
 #include <map>
 #include <utility>
@@ -58,7 +59,9 @@ Router::Shard::Shard()
 Router::Router(const Options& options)
     : options_(options),
       ring_(options.shards.size(),
-            options.virtual_nodes == 0 ? 1 : options.virtual_nodes) {}
+            options.virtual_nodes == 0 ? 1 : options.virtual_nodes),
+      hot_mu_(lockdiag::RegisterLockClass("cluster.Router.hot_keys",
+                                          lockdiag::kRankCluster)) {}
 
 Router::~Router() { Stop(); }
 
@@ -137,6 +140,8 @@ StatusOr<std::string> Router::ForwardByKey(const std::string& route_key,
   const std::vector<size_t> prefs = ring_.Preference(route_key, attempts);
   Status last = Status::ResourceExhausted("no shard reachable");
   bool attempted = false;
+  const bool recommend = type == rpc::FrameType::kRecommend;
+  std::vector<size_t> failed;
   // Pass 0 tries the healthy shards in preference order; pass 1 is the
   // last resort when the prober has everything marked down (its view may
   // be a probe interval stale — a shard that just came back deserves the
@@ -151,6 +156,7 @@ StatusOr<std::string> Router::ForwardByKey(const std::string& route_key,
       auto reply = CallShard(index, type, payload);
       if (!reply.ok()) {
         last = reply.status();
+        failed.push_back(index);
         continue;  // Reroute: next shard in the preference order.
       }
       if (reply->type == rpc::FrameType::kError) {
@@ -164,6 +170,12 @@ StatusOr<std::string> Router::ForwardByKey(const std::string& route_key,
             std::to_string(static_cast<int>(reply->type)));
         continue;
       }
+      if (recommend) {
+        RecordHotKey(route_key, payload, index);
+        // A reroute landed here: hand the survivor the failed shard's hot
+        // questions so they come back warm, not cold.
+        if (!failed.empty()) MaybeSendWarmHint(failed, index);
+      }
       return std::move(reply->payload);
     }
   }
@@ -176,6 +188,83 @@ StatusOr<std::string> Router::ForwardRecommend(const std::string& route_key,
                                                const std::string& payload) {
   return ForwardByKey(route_key, rpc::FrameType::kRecommend,
                       rpc::FrameType::kRecommendReply, payload);
+}
+
+void Router::RecordHotKey(const std::string& route_key,
+                          const std::string& payload, size_t owner) {
+  // The table is a bounded popularity sample, not a log: when full, the
+  // coldest entry makes room.
+  constexpr size_t kMaxHotKeys = 512;
+  MutexLock lock(hot_mu_);
+  auto it = hot_keys_.find(route_key);
+  if (it == hot_keys_.end()) {
+    if (hot_keys_.size() >= kMaxHotKeys) {
+      auto coldest = hot_keys_.begin();
+      for (auto c = hot_keys_.begin(); c != hot_keys_.end(); ++c) {
+        if (c->second.hits < coldest->second.hits) coldest = c;
+      }
+      hot_keys_.erase(coldest);
+    }
+    it = hot_keys_.emplace(route_key, HotEntry{}).first;
+    it->second.payload = payload;
+  }
+  it->second.owner = owner;
+  ++it->second.hits;
+}
+
+void Router::MaybeSendWarmHint(const std::vector<size_t>& failed,
+                               size_t target) {
+  constexpr size_t kWarmTopK = 8;
+  constexpr int64_t kWarmCooldownMs = 1'000;
+  const int64_t now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                             std::chrono::steady_clock::now().time_since_epoch())
+                             .count();
+  // Claim each failed shard's cooldown slot atomically: one failover burst
+  // sends one hint per failed shard, not one per rerouted request.
+  std::vector<bool> source(shards_.size(), false);
+  bool any = false;
+  for (const size_t index : failed) {
+    if (index == target || index >= shards_.size()) continue;
+    int64_t last_ms =
+        shards_[index]->last_warm_ms.load(std::memory_order_relaxed);
+    if (last_ms >= 0 && now_ms - last_ms < kWarmCooldownMs) continue;
+    if (!shards_[index]->last_warm_ms.compare_exchange_strong(
+            last_ms, now_ms, std::memory_order_relaxed)) {
+      continue;
+    }
+    source[index] = true;
+    any = true;
+  }
+  if (!any) return;
+
+  // Copy the candidate payloads out; the kWarm call runs with hot_mu_
+  // released.
+  std::vector<std::pair<uint64_t, std::string>> hot;
+  {
+    MutexLock lock(hot_mu_);
+    for (const auto& [key, entry] : hot_keys_) {
+      if (entry.owner < source.size() && source[entry.owner]) {
+        hot.emplace_back(entry.hits, entry.payload);
+      }
+    }
+  }
+  if (hot.empty()) return;
+  std::sort(hot.begin(), hot.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  if (hot.size() > kWarmTopK) hot.resize(kWarmTopK);
+
+  // Payloads are raw JSON documents; splice them into one array.
+  std::string body = "[";
+  for (size_t i = 0; i < hot.size(); ++i) {
+    if (i > 0) body.push_back(',');
+    body.append(hot[i].second);
+  }
+  body.push_back(']');
+  auto reply = CallShard(target, rpc::FrameType::kWarm, body);
+  if (reply.ok() && reply->type == rpc::FrameType::kWarmReply) {
+    warm_hints_.fetch_add(1, std::memory_order_relaxed);
+    warm_keys_.fetch_add(hot.size(), std::memory_order_relaxed);
+  }
 }
 
 StatusOr<std::string> Router::ForwardObserve(const std::string& route_key,
@@ -290,7 +379,12 @@ RouterHttpServer::RouterHttpServer(Router* router, const Options& options)
               -> std::optional<net::HttpResponse> {
             // Health must answer even when every handler thread is parked
             // on a slow shard call.
-            if (request.Path() == "/healthz" && request.method == "GET") {
+            const std::string path = request.Path();
+            if (path == "/livez" && request.method == "GET") {
+              return net::HttpResponse::Text(200, "ok\n");
+            }
+            if ((path == "/healthz" || path == "/readyz") &&
+                request.method == "GET") {
               return router_->healthy_shards() > 0
                          ? net::HttpResponse::Text(200, "ok\n")
                          : net::ErrorResponse(Status::FailedPrecondition(
@@ -301,7 +395,10 @@ RouterHttpServer::RouterHttpServer(Router* router, const Options& options)
 
 net::HttpResponse RouterHttpServer::Handle(const net::HttpRequest& request) {
   const std::string path = request.Path();
-  if (path == "/healthz") {
+  if (path == "/livez") {
+    return net::HttpResponse::Text(200, "ok\n");
+  }
+  if (path == "/healthz" || path == "/readyz") {
     return router_->healthy_shards() > 0
                ? net::HttpResponse::Text(200, "ok\n")
                : net::ErrorResponse(
@@ -499,6 +596,15 @@ std::string RouterHttpServer::MetricsText() const {
                     "failure.");
   net::AppendSample(&out, "juggler_router_reroutes_total", "", "",
                     static_cast<double>(router_->reroutes()));
+  net::AppendHeader(&out, "juggler_router_warm_hints_total", "counter",
+                    "Cache warm hints sent to surviving shards after a "
+                    "failover reroute.");
+  net::AppendSample(&out, "juggler_router_warm_hints_total", "", "",
+                    static_cast<double>(router_->warm_hints()));
+  net::AppendHeader(&out, "juggler_router_warm_keys_total", "counter",
+                    "Hot questions forwarded across all warm hints.");
+  net::AppendSample(&out, "juggler_router_warm_keys_total", "", "",
+                    static_cast<double>(router_->warm_keys()));
   net::AppendHeader(&out, "juggler_router_probes_total", "counter",
                     "Health probes sent.");
   net::AppendSample(&out, "juggler_router_probes_total", "", "",
@@ -529,6 +635,16 @@ std::string RouterHttpServer::MetricsText() const {
                     "HTTP protocol errors (400/413/501).");
   net::AppendSample(&out, "juggler_http_parse_errors_total", "", "",
                     static_cast<double>(http.parse_errors));
+  net::AppendHeader(&out, "juggler_http_slow_read_closed_total", "counter",
+                    "Connections answered 408 and closed for stalling "
+                    "mid-request (header-read deadline).");
+  net::AppendSample(&out, "juggler_http_slow_read_closed_total", "", "",
+                    static_cast<double>(http.slow_read_closed));
+  net::AppendHeader(&out, "juggler_http_slow_write_closed_total", "counter",
+                    "Connections closed for not draining the response "
+                    "(write deadline).");
+  net::AppendSample(&out, "juggler_http_slow_write_closed_total", "", "",
+                    static_cast<double>(http.slow_write_closed));
 
   online::AppendOnlineMetrics(&out);
   net::AppendLockMetrics(&out);

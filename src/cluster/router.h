@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -109,6 +110,14 @@ class Router {
   uint64_t reroutes() const {
     return reroutes_.load(std::memory_order_relaxed);
   }
+  /// Warm hints sent to surviving shards after a failover reroute.
+  uint64_t warm_hints() const {
+    return warm_hints_.load(std::memory_order_relaxed);
+  }
+  /// Hot keys forwarded across all warm hints.
+  uint64_t warm_keys() const {
+    return warm_keys_.load(std::memory_order_relaxed);
+  }
   uint64_t probes() const { return probes_.load(std::memory_order_relaxed); }
   size_t healthy_shards() const;
   size_t shard_count() const { return shards_.size(); }
@@ -125,11 +134,22 @@ class Router {
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> errors{0};
     service::LatencyHistogram latency;
+    /// steady_clock ms of the last warm hint sourced from this shard's keys
+    /// (cooldown so one failover burst sends one hint, not one per request).
+    std::atomic<int64_t> last_warm_ms{-1};
     /// Lock class "cluster.Router.shard_pool" (rank cluster=14): guards only
     /// the checkout/return vector. RpcClient Dial/Call/close all happen with
     /// the lock released (the `blocking-under-lock` lint rule enforces this).
     Mutex pool_mu ACQUIRED_AFTER(lockdiag::kRpcOrder);
     std::vector<std::unique_ptr<rpc::RpcClient>> pool GUARDED_BY(pool_mu);
+  };
+
+  /// One recently served recommend question: enough to re-issue it as a
+  /// cache pre-warm on another shard.
+  struct HotEntry {
+    std::string payload;  ///< The single-recommend request JSON, verbatim.
+    uint64_t hits = 0;
+    size_t owner = 0;  ///< Shard index that last served it.
   };
 
   /// One call against shard `index`: checkout (or dial) a pooled client,
@@ -145,6 +165,18 @@ class Router {
                                      rpc::FrameType expected_reply,
                                      const std::string& payload);
 
+  /// Remembers a successfully served recommend question in the bounded
+  /// hot-key table (route_key -> payload/hits/owner shard).
+  void RecordHotKey(const std::string& route_key, const std::string& payload,
+                    size_t owner) EXCLUDES(hot_mu_);
+
+  /// After a failover reroute: best-effort kWarm to `target` carrying the
+  /// top-k hot questions last owned by the `failed` shards, so the survivor
+  /// pre-computes them instead of serving cold. Rate-limited per failed
+  /// shard; never blocks the rerouted request's response path on an error.
+  void MaybeSendWarmHint(const std::vector<size_t>& failed, size_t target)
+      EXCLUDES(hot_mu_);
+
   void ProbeLoop();
 
   const Options options_;
@@ -157,6 +189,14 @@ class Router {
 
   std::atomic<uint64_t> reroutes_{0};
   std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> warm_hints_{0};
+  std::atomic<uint64_t> warm_keys_{0};
+
+  /// Lock class "cluster.Router.hot_keys" (rank cluster=14): guards only the
+  /// bounded hot-key table; never held across an RPC (payloads are copied
+  /// out, then the kWarm call runs unlocked).
+  mutable Mutex hot_mu_ ACQUIRED_AFTER(lockdiag::kRpcOrder);
+  std::map<std::string, HotEntry> hot_keys_ GUARDED_BY(hot_mu_);
 };
 
 /// \brief The HTTP face of the cluster: the standalone server's API, with
@@ -168,7 +208,9 @@ class Router {
 ///                        the app's shard as a kObserve frame
 ///   GET  /v1/apps        answered by the first healthy shard
 ///   POST /v1/reload      broadcast to every shard; per-shard results
+///   GET  /livez          200 whenever the router process serves
 ///   GET  /healthz        200 while >=1 shard is healthy, else 503
+///   GET  /readyz         alias for /healthz (readiness == routable fleet)
 ///   GET  /metrics        router + per-shard series, Prometheus text
 class RouterHttpServer {
  public:

@@ -44,6 +44,8 @@ rpc::RpcFrame ShardServer::Handle(const rpc::RpcFrame& request) {
       return HandleReload();
     case rpc::FrameType::kObserve:
       return HandleObserve(request);
+    case rpc::FrameType::kWarm:
+      return HandleWarm(request);
     default:
       return ErrorFrame(Status::InvalidArgument(
           "unsupported frame type " +
@@ -79,6 +81,30 @@ rpc::RpcFrame ShardServer::HandleObserve(const rpc::RpcFrame& request) {
                           after.ingested - before.ingested)))
       .Set("buffered", net::Json::Number(static_cast<double>(after.buffered)));
   return Reply(rpc::FrameType::kObserveReply, out.Dump());
+}
+
+rpc::RpcFrame ShardServer::HandleWarm(const rpc::RpcFrame& request) {
+  auto json = net::Json::Parse(request.payload);
+  if (!json.ok()) return ErrorFrame(json.status());
+  if (!json->is_array()) {
+    return ErrorFrame(
+        Status::InvalidArgument("warm hint must be a JSON array"));
+  }
+  // Best effort by contract: unparsable entries are skipped (the router
+  // assembled this from requests another shard already served, so they
+  // normally all parse), and evaluation happens asynchronously — the reply
+  // only acknowledges that the warm-up was queued, it never waits for it.
+  size_t warmed = 0;
+  for (const net::Json& item : json->array_items()) {
+    auto parsed = net::ParseRecommendRequest(item);
+    if (!parsed.ok()) continue;
+    (void)service_->RecommendAsync(std::move(parsed).value());
+    ++warmed;
+  }
+  warms_.fetch_add(warmed, std::memory_order_relaxed);
+  net::Json out = net::Json::Obj();
+  out.Set("warmed", net::Json::Number(static_cast<double>(warmed)));
+  return Reply(rpc::FrameType::kWarmReply, out.Dump());
 }
 
 rpc::RpcFrame ShardServer::HandleApps() const {

@@ -1,6 +1,8 @@
 #ifndef JUGGLER_CLUSTER_SHARD_SERVER_H_
 #define JUGGLER_CLUSTER_SHARD_SERVER_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <utility>
@@ -29,6 +31,10 @@ namespace juggler::cluster {
 ///   kObserve    -> kObserveReply {"accepted":n,"buffered":n} | kError
 ///                  (observation batch in the online binary wire format;
 ///                  FAILED_PRECONDITION when the shard runs without --online)
+///   kWarm       -> kWarmReply {"warmed":n}: a best-effort cache pre-warm
+///                  hint from the router after failover — a JSON array of
+///                  recommend request docs the shard evaluates asynchronously
+///                  so rerouted hot questions land warm instead of cold
 ///   anything else -> kError INVALID_ARGUMENT
 class ShardServer {
  public:
@@ -53,15 +59,20 @@ class ShardServer {
   /// can exercise the protocol without a socket.
   rpc::RpcFrame Handle(const rpc::RpcFrame& request);
 
+  /// Requests pre-computed from router warm hints since construction.
+  uint64_t warms() const { return warms_.load(std::memory_order_relaxed); }
+
  private:
   rpc::RpcFrame HandleRecommend(const rpc::RpcFrame& request);
   rpc::RpcFrame HandleObserve(const rpc::RpcFrame& request);
+  rpc::RpcFrame HandleWarm(const rpc::RpcFrame& request);
   rpc::RpcFrame HandleApps() const;
   rpc::RpcFrame HandleReload();
 
   std::shared_ptr<service::ModelRegistry> registry_;
   std::shared_ptr<service::RecommendationService> service_;
   std::shared_ptr<online::OnlineJuggler> online_;
+  std::atomic<uint64_t> warms_{0};
   rpc::RpcServer server_;
 };
 

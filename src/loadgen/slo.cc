@@ -1,0 +1,211 @@
+#include "loadgen/slo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/parse.h"
+
+namespace juggler::loadgen {
+
+namespace {
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  return buffer;
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.compare(0, std::min(prefix.size(), text.size()), prefix) == 0;
+}
+
+/// Metric name without labels: "name{...}" -> "name".
+std::string BaseName(const std::string& key) {
+  const size_t brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
+}  // namespace
+
+double PhaseResult::Qps() const {
+  return duration_s > 0.0 ? static_cast<double>(sent) / duration_s : 0.0;
+}
+
+double PhaseResult::ErrorRatio() const {
+  if (sent == 0) return 0.0;
+  const uint64_t bad = shed503 + retry_after_missing + errors4xx + errors5xx +
+                       transport_errors + malformed_responses;
+  return static_cast<double>(bad) / static_cast<double>(sent);
+}
+
+double PhaseResult::P99Ms() const {
+  if (latencies_ms.empty()) return 0.0;
+  std::vector<double> sorted = latencies_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank = 0.99 * static_cast<double>(sorted.size() - 1);
+  const size_t index = static_cast<size_t>(rank + 0.5);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+std::vector<Verdict> CheckPhase(const PhaseSpec& spec,
+                                const PhaseResult& result,
+                                double latency_slack) {
+  std::vector<Verdict> verdicts;
+  const auto add = [&](const std::string& name, bool pass,
+                       const std::string& detail) {
+    verdicts.push_back(Verdict{spec.name + "/" + name, pass, detail});
+  };
+
+  // Every valid request got *an* answer: the unaccounted-for bucket is zero
+  // by construction (every outcome increments exactly one counter), so the
+  // checkable invariant is that none of the never-acceptable outcomes
+  // happened.
+  add("no_malformed_responses", result.malformed_responses == 0,
+      std::to_string(result.malformed_responses) + " malformed responses");
+  add("503_carries_retry_after", result.retry_after_missing == 0,
+      std::to_string(result.retry_after_missing) +
+          " 503s without Retry-After");
+  add("no_hung_slowloris", result.slow_hung == 0,
+      std::to_string(result.slow_hung) + " of " +
+          std::to_string(result.slow_sent) + " slow clients never reaped");
+
+  const double error_ratio = result.ErrorRatio();
+  add("error_budget", error_ratio <= spec.max_error_ratio,
+      "error ratio " + FormatDouble(error_ratio) + " vs budget " +
+          FormatDouble(spec.max_error_ratio) + " (" +
+          std::to_string(result.sent) + " sent, " +
+          std::to_string(result.ok2xx) + " ok, " +
+          std::to_string(result.shed503) + " shed, " +
+          std::to_string(result.transport_errors) + " transport)");
+
+  if (spec.p99_ms > 0.0) {
+    const double bound = spec.p99_ms * latency_slack;
+    const double p99 = result.P99Ms();
+    add("p99_bound", p99 <= bound,
+        "p99 " + FormatDouble(p99) + "ms vs bound " + FormatDouble(bound) +
+            "ms");
+  }
+  return verdicts;
+}
+
+std::map<std::string, double> ParsePrometheusText(const std::string& text) {
+  std::map<std::string, double> samples;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0) continue;
+    double value = 0.0;
+    if (!ParseFiniteDouble(line.substr(space + 1), &value)) continue;
+    samples[line.substr(0, space)] = value;
+  }
+  return samples;
+}
+
+void MetricsMonitor::AddViolation(const std::string& rule,
+                                  const std::string& detail) {
+  violations_.push_back(Verdict{rule, false, detail});
+}
+
+void MetricsMonitor::Observe(const std::string& source,
+                             const std::map<std::string, double>& samples) {
+  ++scrapes_;
+  std::map<std::string, double>& last = last_[source];
+
+  // Monotonicity: `*_total` counters never decrease (a reset mid-serve means
+  // state was lost or two sources are being conflated).
+  for (const auto& [key, value] : samples) {
+    if (!EndsWith(BaseName(key), "_total")) continue;
+    const auto it = last.find(key);
+    if (it != last.end() && value < it->second - 1e-9) {
+      AddViolation("counter_monotone",
+                   source + ": " + key + " fell " + FormatDouble(it->second) +
+                       " -> " + FormatDouble(value));
+    }
+  }
+
+  // Internal consistency within one scrape.
+  const auto find = [&](const char* key) {
+    const auto it = samples.find(key);
+    return it == samples.end() ? -1.0 : it->second;
+  };
+  const double http_requests = find("juggler_http_requests_total");
+  const double fast_path = find("juggler_http_fast_path_total");
+  if (http_requests >= 0.0 && fast_path >= 0.0 &&
+      http_requests < fast_path - 1e-9) {
+    AddViolation("requests_ge_fast_path",
+                 source + ": juggler_http_requests_total " +
+                     FormatDouble(http_requests) + " < fast_path " +
+                     FormatDouble(fast_path));
+  }
+  double per_app_sum = 0.0;
+  bool saw_per_app = false;
+  for (const auto& [key, value] : samples) {
+    if (StartsWith(key, "juggler_requests_total{")) {
+      per_app_sum += value;
+      saw_per_app = true;
+    }
+  }
+  if (http_requests >= 0.0 && saw_per_app &&
+      http_requests < per_app_sum - 1e-9) {
+    AddViolation("requests_ge_per_app_sum",
+                 source + ": juggler_http_requests_total " +
+                     FormatDouble(http_requests) + " < per-app sum " +
+                     FormatDouble(per_app_sum));
+  }
+  const double healthy = find("juggler_router_healthy_shards");
+  if (healthy >= 0.0) {
+    double shard_series = 0.0;
+    for (const auto& [key, value] : samples) {
+      (void)value;
+      if (StartsWith(key, "juggler_router_shard_healthy{")) ++shard_series;
+    }
+    if (healthy > shard_series + 1e-9) {
+      AddViolation("healthy_le_shards",
+                   source + ": healthy_shards " + FormatDouble(healthy) +
+                       " > shard series " + FormatDouble(shard_series));
+    }
+  }
+
+  for (const auto& [key, value] : samples) last[key] = value;
+}
+
+std::vector<Verdict> MetricsMonitor::Verdicts() const {
+  const char* rules[] = {"counter_monotone", "requests_ge_fast_path",
+                         "requests_ge_per_app_sum", "healthy_le_shards"};
+  std::vector<Verdict> out;
+  for (const char* rule : rules) {
+    Verdict verdict;
+    verdict.name = std::string("metrics/") + rule;
+    verdict.pass = true;
+    size_t count = 0;
+    for (const Verdict& violation : violations_) {
+      if (violation.name == rule) {
+        if (verdict.pass) {
+          verdict.pass = false;
+          verdict.detail = violation.detail;
+        }
+        ++count;
+      }
+    }
+    if (!verdict.pass && count > 1) {
+      verdict.detail += " (+" + std::to_string(count - 1) + " more)";
+    }
+    if (verdict.pass) {
+      verdict.detail = "held across " + std::to_string(scrapes_) + " scrapes";
+    }
+    out.push_back(std::move(verdict));
+  }
+  return out;
+}
+
+}  // namespace juggler::loadgen

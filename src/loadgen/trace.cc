@@ -1,0 +1,333 @@
+#include "loadgen/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/parse.h"
+
+namespace juggler::loadgen {
+
+namespace {
+
+std::vector<std::string> SplitWhitespace(const std::string& line) {
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+std::vector<std::string> SplitChar(const std::string& text, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == sep) {
+      parts.push_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+Status LineError(size_t line_no, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line_no) + ": " +
+                                 message);
+}
+
+bool ParseI64(const std::string& text, int64_t* out) {
+  uint64_t value = 0;
+  if (!ParseUnsigned(text, &value) ||
+      value > 9223372036854775807ULL) {
+    return false;
+  }
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseShape(const std::string& text, Shape* out) {
+  if (text == "constant") *out = Shape::kConstant;
+  else if (text == "ramp") *out = Shape::kRamp;
+  else if (text == "diurnal") *out = Shape::kDiurnal;
+  else if (text == "flash") *out = Shape::kFlash;
+  else return false;
+  return true;
+}
+
+bool ParseMix(const std::string& text, MixWeights* out) {
+  MixWeights mix;
+  mix.valid = 0.0;
+  for (const std::string& part : SplitChar(text, ',')) {
+    const size_t colon = part.find(':');
+    if (colon == std::string::npos) return false;
+    const std::string kind = part.substr(0, colon);
+    double weight = 0.0;
+    if (!ParseFiniteDouble(part.substr(colon + 1), &weight) || weight < 0.0) {
+      return false;
+    }
+    if (kind == "valid") mix.valid = weight;
+    else if (kind == "malformed") mix.malformed = weight;
+    else if (kind == "slow") mix.slow = weight;
+    else if (kind == "observe") mix.observe = weight;
+    else return false;
+  }
+  if (mix.Total() <= 0.0) return false;
+  *out = mix;
+  return true;
+}
+
+Status ParsePhaseLine(const std::vector<std::string>& tokens, size_t line_no,
+                      PhaseSpec* out) {
+  if (tokens.size() < 2) {
+    return LineError(line_no, "phase needs a name");
+  }
+  PhaseSpec phase;
+  phase.name = tokens[1];
+  bool saw_duration = false;
+  bool saw_qps = false;
+  for (size_t i = 2; i < tokens.size(); ++i) {
+    const size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos) {
+      return LineError(line_no, "expected key=value, got '" + tokens[i] + "'");
+    }
+    const std::string key = tokens[i].substr(0, eq);
+    const std::string value = tokens[i].substr(eq + 1);
+    bool ok = true;
+    if (key == "duration_ms") {
+      ok = ParseI64(value, &phase.duration_ms) && phase.duration_ms > 0;
+      saw_duration = ok;
+    } else if (key == "qps") {
+      ok = ParseFiniteDouble(value, &phase.qps) && phase.qps > 0.0;
+      saw_qps = ok;
+    } else if (key == "shape") {
+      ok = ParseShape(value, &phase.shape);
+    } else if (key == "mix") {
+      ok = ParseMix(value, &phase.mix);
+    } else if (key == "zipf") {
+      ok = ParseFiniteDouble(value, &phase.zipf_s) && phase.zipf_s >= 0.0;
+    } else if (key == "rotate_ms") {
+      ok = ParseI64(value, &phase.rotate_ms);
+    } else if (key == "apps") {
+      phase.apps = SplitChar(value, ',');
+      for (const std::string& app : phase.apps) {
+        if (app.empty()) ok = false;
+      }
+      if (phase.apps.empty()) ok = false;
+    } else if (key == "max_error_ratio") {
+      ok = ParseFiniteDouble(value, &phase.max_error_ratio) &&
+           phase.max_error_ratio >= 0.0 && phase.max_error_ratio <= 1.0;
+    } else if (key == "p99_ms") {
+      ok = ParseFiniteDouble(value, &phase.p99_ms) && phase.p99_ms >= 0.0;
+    } else if (key == "flash_x") {
+      ok = ParseFiniteDouble(value, &phase.flash_x) && phase.flash_x >= 1.0;
+    } else {
+      return LineError(line_no, "unknown phase key '" + key + "'");
+    }
+    if (!ok) {
+      return LineError(line_no,
+                       "bad value for " + key + ": '" + value + "'");
+    }
+  }
+  if (!saw_duration) return LineError(line_no, "phase needs duration_ms=N");
+  if (!saw_qps) return LineError(line_no, "phase needs qps=Q");
+  *out = std::move(phase);
+  return Status::OK();
+}
+
+Status ParseChaosLine(const std::vector<std::string>& tokens, size_t line_no,
+                      ChaosEvent* out) {
+  if (tokens.size() < 3) {
+    return LineError(line_no, "chaos needs: chaos <at_ms> <action> [args]");
+  }
+  ChaosEvent event;
+  if (!ParseI64(tokens[1], &event.at_ms)) {
+    return LineError(line_no, "bad chaos timestamp '" + tokens[1] + "'");
+  }
+  const std::string& action = tokens[2];
+  const auto need = [&](size_t count) {
+    return tokens.size() == 3 + count;
+  };
+  if (action == "kill_shard" || action == "restart_shard") {
+    event.action = action == "kill_shard" ? ChaosAction::kKillShard
+                                          : ChaosAction::kRestartShard;
+    if (!need(1) || !ParseI64(tokens[3], &event.shard)) {
+      return LineError(line_no, action + " needs one shard index");
+    }
+  } else if (action == "pause_shard") {
+    event.action = ChaosAction::kPauseShard;
+    if (!need(2) || !ParseI64(tokens[3], &event.shard) ||
+        !ParseI64(tokens[4], &event.pause_ms) || event.pause_ms <= 0) {
+      return LineError(line_no, "pause_shard needs <index> <pause_ms>");
+    }
+  } else if (action == "corrupt_model" || action == "restore_model" ||
+             action == "publish_refit") {
+    event.action = action == "corrupt_model" ? ChaosAction::kCorruptModel
+                   : action == "restore_model" ? ChaosAction::kRestoreModel
+                                               : ChaosAction::kPublishRefit;
+    if (!need(1) || tokens[3].empty()) {
+      return LineError(line_no, action + " needs an app name");
+    }
+    event.app = tokens[3];
+  } else {
+    return LineError(line_no, "unknown chaos action '" + action + "'");
+  }
+  *out = std::move(event);
+  return Status::OK();
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%g", value);
+  out->append(buffer);
+}
+
+}  // namespace
+
+int64_t Trace::TotalDurationMs() const {
+  int64_t total = 0;
+  for (const PhaseSpec& phase : phases) total += phase.duration_ms;
+  return total;
+}
+
+const char* ShapeName(Shape shape) {
+  switch (shape) {
+    case Shape::kConstant: return "constant";
+    case Shape::kRamp: return "ramp";
+    case Shape::kDiurnal: return "diurnal";
+    case Shape::kFlash: return "flash";
+  }
+  return "constant";
+}
+
+const char* ChaosActionName(ChaosAction action) {
+  switch (action) {
+    case ChaosAction::kKillShard: return "kill_shard";
+    case ChaosAction::kRestartShard: return "restart_shard";
+    case ChaosAction::kPauseShard: return "pause_shard";
+    case ChaosAction::kCorruptModel: return "corrupt_model";
+    case ChaosAction::kRestoreModel: return "restore_model";
+    case ChaosAction::kPublishRefit: return "publish_refit";
+  }
+  return "kill_shard";
+}
+
+std::string Trace::Dump() const {
+  std::string out;
+  for (const PhaseSpec& phase : phases) {
+    out.append("phase ").append(phase.name);
+    out.append(" duration_ms=").append(std::to_string(phase.duration_ms));
+    out.append(" qps=");
+    AppendDouble(&out, phase.qps);
+    out.append(" shape=").append(ShapeName(phase.shape));
+    out.append(" mix=valid:");
+    AppendDouble(&out, phase.mix.valid);
+    out.append(",malformed:");
+    AppendDouble(&out, phase.mix.malformed);
+    out.append(",slow:");
+    AppendDouble(&out, phase.mix.slow);
+    out.append(",observe:");
+    AppendDouble(&out, phase.mix.observe);
+    out.append(" zipf=");
+    AppendDouble(&out, phase.zipf_s);
+    out.append(" rotate_ms=").append(std::to_string(phase.rotate_ms));
+    if (!phase.apps.empty()) {
+      out.append(" apps=");
+      for (size_t i = 0; i < phase.apps.size(); ++i) {
+        if (i > 0) out.push_back(',');
+        out.append(phase.apps[i]);
+      }
+    }
+    out.append(" max_error_ratio=");
+    AppendDouble(&out, phase.max_error_ratio);
+    out.append(" p99_ms=");
+    AppendDouble(&out, phase.p99_ms);
+    if (phase.shape == Shape::kFlash) {
+      out.append(" flash_x=");
+      AppendDouble(&out, phase.flash_x);
+    }
+    out.push_back('\n');
+  }
+  for (const ChaosEvent& event : chaos) {
+    out.append("chaos ").append(std::to_string(event.at_ms));
+    out.push_back(' ');
+    out.append(ChaosActionName(event.action));
+    switch (event.action) {
+      case ChaosAction::kKillShard:
+      case ChaosAction::kRestartShard:
+        out.push_back(' ');
+        out.append(std::to_string(event.shard));
+        break;
+      case ChaosAction::kPauseShard:
+        out.push_back(' ');
+        out.append(std::to_string(event.shard));
+        out.push_back(' ');
+        out.append(std::to_string(event.pause_ms));
+        break;
+      case ChaosAction::kCorruptModel:
+      case ChaosAction::kRestoreModel:
+      case ChaosAction::kPublishRefit:
+        out.push_back(' ');
+        out.append(event.app);
+        break;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+StatusOr<Trace> ParseTrace(const std::string& text) {
+  Trace trace;
+  size_t line_no = 0;
+  std::istringstream stream(text);
+  std::string line;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const std::vector<std::string> tokens = SplitWhitespace(line);
+    if (tokens.empty()) continue;
+    if (tokens[0] == "phase") {
+      PhaseSpec phase;
+      JUGGLER_RETURN_IF_ERROR(ParsePhaseLine(tokens, line_no, &phase));
+      trace.phases.push_back(std::move(phase));
+    } else if (tokens[0] == "chaos") {
+      ChaosEvent event;
+      JUGGLER_RETURN_IF_ERROR(ParseChaosLine(tokens, line_no, &event));
+      trace.chaos.push_back(std::move(event));
+    } else {
+      return LineError(line_no, "unknown directive '" + tokens[0] + "'");
+    }
+  }
+  if (trace.phases.empty()) {
+    return Status::InvalidArgument("trace has no phases");
+  }
+  const int64_t total = trace.TotalDurationMs();
+  for (const ChaosEvent& event : trace.chaos) {
+    if (event.at_ms >= total) {
+      return Status::InvalidArgument(
+          "chaos event at " + std::to_string(event.at_ms) +
+          "ms is past the trace end (" + std::to_string(total) + "ms)");
+    }
+  }
+  return trace;
+}
+
+StatusOr<Trace> LoadTraceFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open trace file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto trace = ParseTrace(buffer.str());
+  if (!trace.ok()) {
+    return Status::InvalidArgument(path + ": " + trace.status().message());
+  }
+  return trace;
+}
+
+}  // namespace juggler::loadgen

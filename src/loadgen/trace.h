@@ -1,0 +1,109 @@
+#ifndef JUGGLER_LOADGEN_TRACE_H_
+#define JUGGLER_LOADGEN_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace juggler::loadgen {
+
+/// \brief The `.trace` text format driving the load generator and the soak
+/// harness (tools/soak/traces/*.trace).
+///
+/// Line grammar (one directive per line, `#` starts a comment):
+///
+///   phase <name> duration_ms=N qps=Q [shape=constant|ramp|diurnal|flash]
+///         [mix=valid:W,malformed:W,slow:W,observe:W] [zipf=S] [rotate_ms=N]
+///         [apps=a,b,c] [max_error_ratio=X] [p99_ms=X] [flash_x=K]
+///   chaos <at_ms> kill_shard <index>
+///   chaos <at_ms> restart_shard <index>
+///   chaos <at_ms> pause_shard <index> <pause_ms>
+///   chaos <at_ms> corrupt_model <app>
+///   chaos <at_ms> restore_model <app>
+///   chaos <at_ms> publish_refit <app>
+///
+/// Phases play back to back in file order; chaos timestamps are relative to
+/// trace start. Parse errors carry the 1-based line number. Dump() emits a
+/// canonical form that re-parses to an identical trace (round-trip tested).
+
+/// Instantaneous-rate profile over a phase:
+///  - constant: flat at `qps`;
+///  - ramp: linear 20% -> 100% of `qps` (warm-up / organic growth);
+///  - diurnal: one sinusoidal day, trough at the edges, peak mid-phase;
+///  - flash: flat baseline with a `flash_x` crowd spike over the middle
+///    fifth of the phase.
+enum class Shape { kConstant, kRamp, kDiurnal, kFlash };
+
+enum class ChaosAction {
+  kKillShard,     ///< Stop shard <index>; port is kept for restart.
+  kRestartShard,  ///< Start shard <index> again on its original port.
+  kPauseShard,    ///< Stop shard <index>, restart after <pause_ms>.
+  kCorruptModel,  ///< Overwrite <app>'s artifact with garbage + reload.
+  kRestoreModel,  ///< Restore <app>'s original artifact bytes + reload.
+  kPublishRefit,  ///< Rewrite <app>'s artifact (fingerprint change) + reload,
+                  ///< the shape of an online publish landing mid-serve.
+};
+
+/// Request-kind mix weights (normalized by Total() at generation time).
+struct MixWeights {
+  double valid = 1.0;      ///< Well-formed POST /v1/recommend.
+  double malformed = 0.0;  ///< Hostile bytes on a throwaway connection.
+  double slow = 0.0;       ///< Slowloris: a request trickled byte by byte.
+  double observe = 0.0;    ///< POST /v1/observe feeding the online loop.
+  double Total() const { return valid + malformed + slow + observe; }
+};
+
+struct PhaseSpec {
+  std::string name;
+  int64_t duration_ms = 1'000;
+  double qps = 50.0;  ///< Peak target rate; shapes scale it down, never up.
+  Shape shape = Shape::kConstant;
+  MixWeights mix;
+  /// Zipf skew over the app popularity ranking (higher = more skewed).
+  double zipf_s = 1.0;
+  /// Popularity rotation period: every rotate_ms the app ranking is
+  /// re-permuted (seeded), making traffic non-stationary for the online
+  /// loop. 0 keeps the ranking fixed for the whole phase.
+  int64_t rotate_ms = 0;
+  /// Apps drawn from; empty uses the generator's default set.
+  std::vector<std::string> apps;
+  /// SLO: per-phase error budget as a fraction of requests sent.
+  double max_error_ratio = 0.01;
+  /// SLO: per-phase p99 latency bound in ms; 0 = unchecked.
+  double p99_ms = 0.0;
+  /// Flash-crowd multiplier (shape=flash only).
+  double flash_x = 4.0;
+};
+
+struct ChaosEvent {
+  int64_t at_ms = 0;
+  ChaosAction action = ChaosAction::kKillShard;
+  int64_t shard = 0;     ///< kill_shard / restart_shard / pause_shard.
+  int64_t pause_ms = 0;  ///< pause_shard only.
+  std::string app;       ///< corrupt_model / restore_model / publish_refit.
+};
+
+struct Trace {
+  std::vector<PhaseSpec> phases;
+  std::vector<ChaosEvent> chaos;
+
+  int64_t TotalDurationMs() const;
+
+  /// Canonical text form; ParseTrace(Dump()) round-trips exactly.
+  std::string Dump() const;
+};
+
+const char* ShapeName(Shape shape);
+const char* ChaosActionName(ChaosAction action);
+
+/// Parses the text form. Errors are InvalidArgument with "line N:" prefixes.
+[[nodiscard]] StatusOr<Trace> ParseTrace(const std::string& text);
+
+/// Reads and parses a `.trace` file. NotFound when unreadable.
+[[nodiscard]] StatusOr<Trace> LoadTraceFile(const std::string& path);
+
+}  // namespace juggler::loadgen
+
+#endif  // JUGGLER_LOADGEN_TRACE_H_

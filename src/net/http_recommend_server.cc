@@ -38,13 +38,28 @@ HttpRecommendServer::HttpRecommendServer(
 
 Status HttpRecommendServer::Start() { return server_.Start(); }
 
-void HttpRecommendServer::Stop() { server_.Stop(); }
+void HttpRecommendServer::Stop() {
+  SetDraining(true);
+  server_.Stop();
+}
+
+HttpResponse HttpRecommendServer::ReadinessResponse() const {
+  if (Ready()) return HttpResponse::Text(200, "ok\n");
+  const bool draining = draining_.load(std::memory_order_relaxed);
+  HttpResponse response = HttpResponse::Text(
+      503, draining ? "draining\n" : "registry refresh in progress\n");
+  response.headers.emplace_back("Retry-After", "1");
+  return response;
+}
 
 std::optional<HttpResponse> HttpRecommendServer::HandleFast(
     const HttpRequest& request) {
   const std::string path = request.Path();
-  if (path == "/healthz" && request.method == "GET") {
+  if (path == "/livez" && request.method == "GET") {
     return HttpResponse::Text(200, "ok\n");
+  }
+  if ((path == "/healthz" || path == "/readyz") && request.method == "GET") {
+    return ReadinessResponse();
   }
   if (path != "/v1/recommend" || request.method != "POST") {
     return std::nullopt;
@@ -68,9 +83,13 @@ std::optional<HttpResponse> HttpRecommendServer::HandleFast(
 
 HttpResponse HttpRecommendServer::Handle(const HttpRequest& request) {
   const std::string path = request.Path();
-  if (path == "/healthz") {
+  if (path == "/livez") {
     if (request.method != "GET") return MethodNotAllowed("GET");
     return HttpResponse::Text(200, "ok\n");
+  }
+  if (path == "/healthz" || path == "/readyz") {
+    if (request.method != "GET") return MethodNotAllowed("GET");
+    return ReadinessResponse();
   }
   if (path == "/v1/recommend") {
     if (request.method != "POST") return MethodNotAllowed("POST");
@@ -330,6 +349,30 @@ std::string HttpRecommendServer::MetricsText() const {
                "Connections closed by the idle sweeper.");
   AppendSample(&out, "juggler_http_idle_closed_total", "", "",
                static_cast<double>(http.idle_closed));
+  AppendHeader(&out, "juggler_http_slow_read_closed_total", "counter",
+               "Connections answered 408 for stalling mid-request "
+               "(header-read deadline).");
+  AppendSample(&out, "juggler_http_slow_read_closed_total", "", "",
+               static_cast<double>(http.slow_read_closed));
+  AppendHeader(&out, "juggler_http_slow_write_closed_total", "counter",
+               "Connections closed for not draining the response "
+               "(write deadline).");
+  AppendSample(&out, "juggler_http_slow_write_closed_total", "", "",
+               static_cast<double>(http.slow_write_closed));
+
+  AppendHeader(&out, "juggler_ready", "gauge",
+               "Readiness as served by /readyz: 1 when accepting work, 0 "
+               "while draining or absorbing a registry refresh.");
+  AppendSample(&out, "juggler_ready", "", "", Ready() ? 1.0 : 0.0);
+  AppendHeader(&out, "juggler_draining", "gauge",
+               "1 while the server is draining for shutdown.");
+  AppendSample(&out, "juggler_draining", "", "",
+               draining_.load(std::memory_order_relaxed) ? 1.0 : 0.0);
+  AppendHeader(&out, "juggler_registry_refreshes_in_progress", "gauge",
+               "Registry refreshes (reloads or online publishes) currently "
+               "being absorbed.");
+  AppendSample(&out, "juggler_registry_refreshes_in_progress", "", "",
+               static_cast<double>(registry_->refreshes_in_progress()));
 
   online::AppendOnlineMetrics(&out);
   AppendLockMetrics(&out);

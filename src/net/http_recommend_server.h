@@ -1,6 +1,7 @@
 #ifndef JUGGLER_NET_HTTP_RECOMMEND_SERVER_H_
 #define JUGGLER_NET_HTTP_RECOMMEND_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,7 +26,11 @@ namespace juggler::net {
 ///                        503 when the server runs without --online)
 ///   GET  /v1/apps        registered application names + registry version
 ///   POST /v1/reload      hot-reload the model directory (incremental)
-///   GET  /healthz        liveness probe ("ok")
+///   GET  /livez          liveness probe: 200 whenever the process serves
+///   GET  /readyz         readiness probe: 503 + Retry-After while the
+///                        registry is mid-refresh/mid-publish or the server
+///                        is draining for shutdown
+///   GET  /healthz        alias for readiness (existing probes keep working)
 ///   GET  /metrics        Prometheus text format (per-app request/cache/
 ///                        latency series + cache/registry/http globals)
 ///
@@ -60,6 +65,21 @@ class HttpRecommendServer {
   [[nodiscard]] Status Start();
   void Stop();
 
+  /// Marks the server draining: /readyz (and /healthz) flip to 503 so load
+  /// balancers stop routing here, while in-flight requests still complete.
+  /// Stop() sets this automatically; tests and the soak harness set it
+  /// directly to model a shard that is up but not accepting work.
+  void SetDraining(bool draining) {
+    draining_.store(draining, std::memory_order_relaxed);
+  }
+
+  /// Readiness as served by /readyz: not draining and no registry refresh
+  /// or online publish currently being absorbed.
+  bool Ready() const {
+    return !draining_.load(std::memory_order_relaxed) &&
+           registry_->refreshes_in_progress() == 0;
+  }
+
   uint16_t port() const { return server_.port(); }
   const std::string& backend() const { return server_.backend(); }
   HttpServer::Stats http_stats() const { return server_.GetStats(); }
@@ -80,10 +100,12 @@ class HttpRecommendServer {
   HttpResponse HandleObserve(const HttpRequest& request);
   HttpResponse HandleApps() const;
   HttpResponse HandleReload();
+  HttpResponse ReadinessResponse() const;
 
   std::shared_ptr<service::ModelRegistry> registry_;
   std::shared_ptr<service::RecommendationService> service_;
   std::shared_ptr<online::OnlineJuggler> online_;
+  std::atomic<bool> draining_{false};
   HttpServer server_;
 };
 

@@ -107,6 +107,9 @@ HttpServer::Stats HttpServer::GetStats() const {
       overload_rejected_.load(std::memory_order_relaxed);
   stats.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   stats.idle_closed = idle_closed_.load(std::memory_order_relaxed);
+  stats.slow_read_closed = slow_read_closed_.load(std::memory_order_relaxed);
+  stats.slow_write_closed =
+      slow_write_closed_.load(std::memory_order_relaxed);
   return stats;
 }
 
@@ -142,6 +145,7 @@ void HttpServer::LoopMain() {
     }
     ApplyCompletions();
     SweepIdle();
+    SweepDeadlines();
   }
   // Loop exit: close every connection (the loop thread owns them all).
   for (auto& [id, conn] : connections_) {
@@ -256,6 +260,7 @@ void HttpServer::PumpRequests(Connection* conn) {
 
     requests_.fetch_add(1, std::memory_order_relaxed);
     conn->last_activity = Clock::now();
+    conn->read_start = {};  // Complete request: the next one gets a fresh clock.
     const bool keep_alive = result.request.KeepAlive();
     if (fast_handler_) {
       if (std::optional<HttpResponse> fast = fast_handler_(result.request)) {
@@ -266,6 +271,15 @@ void HttpServer::PumpRequests(Connection* conn) {
       }
     }
     DispatchToPool(conn, std::move(result.request));
+  }
+
+  // Header-read deadline: armed while a partial request sits in the buffer,
+  // disarmed when the buffer drains. last_activity is *not* the anchor —
+  // trickled bytes refresh it, which is exactly the slowloris hole.
+  if (conn->parser.buffered_bytes() == 0) {
+    conn->read_start = {};
+  } else if (conn->read_start == Clock::time_point{}) {
+    conn->read_start = Clock::now();
   }
 }
 
@@ -332,6 +346,14 @@ void HttpServer::FlushWrites(Connection* conn) {
   }
   conn->out.erase(0, written);
 
+  // Response-write deadline: armed while bytes are queued for a client that
+  // is not draining them, disarmed once the buffer empties.
+  if (conn->out.empty()) {
+    conn->write_start = {};
+  } else if (conn->write_start == Clock::time_point{}) {
+    conn->write_start = Clock::now();
+  }
+
   if (conn->out.empty()) {
     if (conn->close_after_write ||
         (conn->read_closed && !conn->handler_inflight &&
@@ -365,6 +387,48 @@ void HttpServer::SweepIdle() {
   for (const uint64_t id : expired) {
     idle_closed_.fetch_add(1, std::memory_order_relaxed);
     CloseConnection(id);
+  }
+}
+
+void HttpServer::SweepDeadlines() {
+  const bool read_on = options_.header_read_timeout_ms > 0;
+  const bool write_on = options_.write_timeout_ms > 0;
+  if (!read_on && !write_on) return;
+  const auto now = Clock::now();
+  const auto read_limit =
+      std::chrono::milliseconds(options_.header_read_timeout_ms);
+  const auto write_limit = std::chrono::milliseconds(options_.write_timeout_ms);
+  std::vector<uint64_t> write_stalled;
+  std::vector<uint64_t> read_stalled;
+  for (const auto& [id, conn] : connections_) {
+    if (write_on && conn->write_start != Clock::time_point{} &&
+        now - conn->write_start > write_limit) {
+      write_stalled.push_back(id);
+      continue;
+    }
+    if (read_on && !conn->handler_inflight &&
+        conn->read_start != Clock::time_point{} &&
+        now - conn->read_start > read_limit) {
+      read_stalled.push_back(id);
+    }
+  }
+  for (const uint64_t id : write_stalled) {
+    // The client is not draining its socket; a late response would only sit
+    // in the buffer, so close outright.
+    slow_write_closed_.fetch_add(1, std::memory_order_relaxed);
+    CloseConnection(id);
+  }
+  for (const uint64_t id : read_stalled) {
+    Connection* conn = FindConnection(id);
+    if (conn == nullptr) continue;
+    slow_read_closed_.fetch_add(1, std::memory_order_relaxed);
+    HttpResponse response =
+        HttpResponse::Text(408, "request header read timeout\n");
+    conn->out += SerializeResponse(response, /*keep_alive=*/false);
+    conn->close_after_write = true;
+    conn->read_closed = true;  // Mid-request framing: never parse this again.
+    conn->read_start = {};
+    FlushWrites(conn);
   }
 }
 

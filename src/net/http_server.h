@@ -57,6 +57,14 @@ class HttpServer {
     /// Connections with no traffic and no request in flight for this long
     /// are closed by the sweeper.
     int idle_timeout_ms = 30'000;
+    /// Slow-client guard, distinct from the idle sweep (which trickled bytes
+    /// reset): once the first byte of a request has arrived, the complete
+    /// request must parse within this deadline or the connection is answered
+    /// 408 and closed. <= 0 disables.
+    int header_read_timeout_ms = 10'000;
+    /// Once response bytes are queued, the client must drain them within
+    /// this deadline or the connection is closed. <= 0 disables.
+    int write_timeout_ms = 10'000;
     size_t max_connections = 1024;
     /// Use the portable poll(2) backend even where epoll is available.
     bool force_poll = false;
@@ -79,6 +87,8 @@ class HttpServer {
     uint64_t overload_rejected = 0;  ///< 503s from a full dispatch queue.
     uint64_t parse_errors = 0;       ///< 400/413/501 protocol rejections.
     uint64_t idle_closed = 0;        ///< Connections reaped by idle timeout.
+    uint64_t slow_read_closed = 0;   ///< 408s to clients stalling mid-request.
+    uint64_t slow_write_closed = 0;  ///< Closes on clients not draining writes.
   };
 
   HttpServer(const Options& options, Handler handler,
@@ -121,6 +131,12 @@ class HttpServer {
     bool reg_read = true;      ///< EPOLLIN currently registered.
     bool want_write = false;   ///< EPOLLOUT currently registered.
     std::chrono::steady_clock::time_point last_activity;
+    /// Deadline anchors (epoch == disarmed): `read_start` is when the first
+    /// byte of the current partial request arrived; `write_start` is when
+    /// `out` last went empty -> non-empty. Trickled bytes refresh
+    /// last_activity but not these, which is what catches slowloris.
+    std::chrono::steady_clock::time_point read_start{};
+    std::chrono::steady_clock::time_point write_start{};
 
     explicit Connection(const HttpParser::Limits& limits)
         : parser(limits) {}
@@ -144,6 +160,8 @@ class HttpServer {
   void FlushWrites(Connection* conn);
   void ApplyCompletions() EXCLUDES(mu_);
   void SweepIdle();
+  /// Enforces header-read and response-write deadlines (slow-client guard).
+  void SweepDeadlines();
   void CloseConnection(uint64_t id);
   Connection* FindConnection(uint64_t id);
 
@@ -183,6 +201,8 @@ class HttpServer {
   std::atomic<uint64_t> overload_rejected_{0};
   std::atomic<uint64_t> parse_errors_{0};
   std::atomic<uint64_t> idle_closed_{0};
+  std::atomic<uint64_t> slow_read_closed_{0};
+  std::atomic<uint64_t> slow_write_closed_{0};
 };
 
 }  // namespace juggler::net

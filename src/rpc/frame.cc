@@ -46,7 +46,7 @@ uint64_t ReadU64(const char* p) {
 
 bool IsKnownFrameType(uint8_t value) {
   return value >= static_cast<uint8_t>(FrameType::kPing) &&
-         value <= static_cast<uint8_t>(FrameType::kObserveReply);
+         value <= static_cast<uint8_t>(FrameType::kWarmReply);
 }
 
 void AppendFrame(const RpcFrame& frame, std::string* out) {

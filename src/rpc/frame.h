@@ -37,6 +37,9 @@ enum class FrameType : uint8_t {
   kError = 9,           ///< Payload: {"error":{"code":...,"message":...}}.
   kObserve = 10,        ///< Payload: observation batch (online wire format).
   kObserveReply = 11,   ///< Payload: {"accepted":n,"buffered":n}.
+  kWarm = 12,           ///< Payload: JSON array of recommend request docs;
+                        ///< best-effort cache pre-warm hint after failover.
+  kWarmReply = 13,      ///< Payload: {"warmed":n}.
 };
 
 /// True when `value` is one of the FrameType enumerators above.

@@ -23,6 +23,13 @@ ModelRegistry::ModelRegistry(std::string directory, Options options)
       snapshot_(std::make_shared<const Snapshot>()) {}
 
 Status ModelRegistry::Refresh() {
+  refresh_in_progress_.fetch_add(1, std::memory_order_relaxed);
+  Status status = RefreshImpl();
+  refresh_in_progress_.fetch_sub(1, std::memory_order_relaxed);
+  return status;
+}
+
+Status ModelRegistry::RefreshImpl() {
   std::error_code ec;
   if (!fs::is_directory(directory_, ec)) {
     return Status::NotFound("model directory not found: " + directory_);

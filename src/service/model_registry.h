@@ -1,6 +1,7 @@
 #ifndef JUGGLER_SERVICE_MODEL_REGISTRY_H_
 #define JUGGLER_SERVICE_MODEL_REGISTRY_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
@@ -91,6 +92,14 @@ class ModelRegistry {
 
   RefreshStats last_refresh() const EXCLUDES(mu_);
 
+  /// Refresh() calls currently executing. The scan + parse work happens
+  /// outside `mu_` by design, so this is observably > 0 mid-refresh —
+  /// readiness probes use it to report "briefly not serving" (still alive)
+  /// while a reload or an online publish is being absorbed.
+  uint64_t refreshes_in_progress() const {
+    return refresh_in_progress_.load(std::memory_order_relaxed);
+  }
+
   /// Cumulative refresh failures per application since construction, for the
   /// `/metrics` endpoint. Keyed by the app the artifact last served (or the
   /// artifact's file stem if it never parsed).
@@ -164,6 +173,10 @@ class ModelRegistry {
 
   std::shared_ptr<const Snapshot> CurrentSnapshot() const EXCLUDES(mu_);
 
+  /// Refresh() body; the public wrapper brackets it with the
+  /// refresh-in-progress gauge.
+  [[nodiscard]] Status RefreshImpl() EXCLUDES(mu_);
+
   /// The lazy-mode Resolve path: loaded-cache hit or parse-on-miss.
   StatusOr<Resolved> ResolveLazy(const std::string& app,
                                  const std::shared_ptr<const Snapshot>&
@@ -187,6 +200,7 @@ class ModelRegistry {
   /// Lazy mode only: app -> parsed model, bounded by max_loaded/ttl_ms.
   mutable std::map<std::string, LoadedModel> loaded_ GUARDED_BY(mu_);
   mutable uint64_t evictions_ GUARDED_BY(mu_) = 0;
+  std::atomic<uint64_t> refresh_in_progress_{0};
 };
 
 }  // namespace juggler::service

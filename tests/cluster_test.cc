@@ -400,6 +400,62 @@ TEST(RouterChaosTest, KillingAShardReroutesWithZeroClientErrors) {
       << metrics;
 }
 
+TEST(RouterChaosTest, FailoverSendsWarmHintsToTheSurvivor) {
+  // Long probe interval: the prober must not mark the killed shard down
+  // before the rerouted request observes the transport failure itself (a
+  // skipped-as-unhealthy shard is not a "failed" shard, so no hint).
+  ClusterFixture f("warm_hint", /*shard_count=*/2,
+                   /*probe_interval_ms=*/5000);
+
+  // Serve distinct questions until one shard owns at least two hot keys:
+  // the key that triggers the reroute gets re-owned by the survivor, so the
+  // hint's payload comes from the *other* keys the dead shard served.
+  const auto body_for = [](int i) {
+    return std::string(R"({"app":"svm","params":{"examples":)") +
+           std::to_string(12000 + 500 * i) +
+           R"(,"features":3000,"iterations":5}})";
+  };
+  std::vector<std::vector<std::string>> keys_by_shard(2);
+  size_t owner = 2;
+  for (int i = 0; i < 32 && owner == 2; ++i) {
+    const std::string body = body_for(i);
+    const auto before = f.router->GetShardStats();
+    ASSERT_EQ(f.http->Handle(MakeRequest("POST", "/v1/recommend", body)).status,
+              200);
+    const auto after = f.router->GetShardStats();
+    for (size_t s = 0; s < 2; ++s) {
+      if (after[s].requests > before[s].requests) {
+        keys_by_shard[s].push_back(body);
+        if (keys_by_shard[s].size() >= 2) owner = s;
+      }
+    }
+  }
+  ASSERT_LT(owner, 2u) << "hashing never gave one shard two keys in 32 tries";
+  const size_t survivor = 1 - owner;
+  EXPECT_EQ(f.router->warm_hints(), 0u);
+  EXPECT_EQ(f.shards[survivor]->server->warms(), 0u);
+
+  f.shards[owner]->server->Stop();
+
+  // The reroute path sends the hint synchronously before answering, so the
+  // counters are settled the moment Handle returns.
+  const auto rerouted = f.http->Handle(
+      MakeRequest("POST", "/v1/recommend", keys_by_shard[owner][0]));
+  ASSERT_EQ(rerouted.status, 200) << rerouted.body;
+  EXPECT_GE(f.router->reroutes(), 1u);
+  EXPECT_GE(f.router->warm_hints(), 1u)
+      << "failover must hand the survivor the dead shard's hot keys";
+  EXPECT_GE(f.router->warm_keys(), 1u);
+  EXPECT_GE(f.shards[survivor]->server->warms(), 1u)
+      << "the survivor must have queued the hinted questions";
+
+  const std::string metrics = f.http->MetricsText();
+  EXPECT_NE(metrics.find("juggler_router_warm_hints_total"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("juggler_router_warm_keys_total"), std::string::npos);
+}
+
 TEST(RouterChaosTest, AllShardsDownIs503ShapedAndHealthzGoesRed) {
   ClusterFixture f("all_down", /*shard_count=*/2, /*probe_interval_ms=*/50);
   for (auto& shard : f.shards) shard->server->Stop();

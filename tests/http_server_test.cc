@@ -365,6 +365,59 @@ TEST_P(HttpServerTest, StopClosesOpenConnectionsAndIsIdempotent) {
   server.reset();
 }
 
+TEST_P(HttpServerTest, StalledHeaderReadGets408AndClosed) {
+  HttpServer::Options options = BaseOptions();
+  options.header_read_timeout_ms = 100;
+  HttpServer server(options, EchoHandler());
+  ASSERT_TRUE(server.Start().ok());
+
+  // A slowloris: the request never completes — headers arrive but the
+  // terminating blank line does not. The idle sweeper alone would keep this
+  // alive (bytes did arrive); the header-read deadline must not.
+  TestClient slow(server.port());
+  slow.Send("GET /partial HTTP/1.1\r\nHost: t\r\nX-Stall: yes\r\n");
+  const std::string response = slow.ReadResponse();
+  EXPECT_EQ(StatusOf(response), 408);
+  EXPECT_TRUE(slow.ReadEof()) << "408 must be followed by a close";
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.GetStats().slow_read_closed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.GetStats().slow_read_closed, 1u);
+
+  // A complete request on a fresh connection is unaffected.
+  TestClient fine(server.port());
+  fine.Send(SimpleGet("/ok"));
+  EXPECT_EQ(StatusOf(fine.ReadResponse()), 200);
+  server.Stop();
+}
+
+TEST_P(HttpServerTest, ClientNotDrainingResponseIsClosed) {
+  HttpServer::Options options = BaseOptions();
+  options.write_timeout_ms = 150;
+  HttpServer server(options, [](const HttpRequest&) {
+    // Far more than the kernel socket buffers absorb, so the server's write
+    // buffer stays non-empty while the client refuses to read.
+    return HttpResponse::Text(200, std::string(32 << 20, 'x'));
+  });
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient stalled(server.port());
+  stalled.Send(SimpleGet("/big"));
+  // Never read. The write deadline must reap the connection instead of
+  // letting the response bytes sit queued forever.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.GetStats().slow_write_closed == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server.GetStats().slow_write_closed, 1u);
+  server.Stop();
+}
+
 INSTANTIATE_TEST_SUITE_P(Backends, HttpServerTest, ::testing::Bool(),
                          [](const auto& param_info) {
                            return param_info.param ? "poll" : "epoll";
@@ -445,6 +498,46 @@ TEST(HttpRecommendServerTest, HealthzIsAnsweredOnTheFastPath) {
   EXPECT_EQ(fast->status, 200);
   EXPECT_EQ(fast->body, "ok\n");
   // The pool path answers it too (e.g. if the fast handler is disabled).
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/healthz")).status, 200);
+}
+
+TEST(HttpRecommendServerTest, LivezStaysUpWhileReadyzDrains) {
+  RecommendFixture f("probes");
+  // Healthy: both probes green, on the fast path and the pool path.
+  EXPECT_TRUE(f.server->Ready());
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/livez")).status, 200);
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/readyz")).status, 200);
+  ASSERT_TRUE(f.server->HandleFast(MakeRequest("GET", "/readyz")).has_value());
+
+  // Draining: liveness holds (don't restart a healthy process), readiness
+  // flips to a clean 503 + Retry-After so balancers stop routing here.
+  f.server->SetDraining(true);
+  EXPECT_FALSE(f.server->Ready());
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/livez")).status, 200);
+  const HttpResponse not_ready =
+      f.server->Handle(MakeRequest("GET", "/readyz"));
+  EXPECT_EQ(not_ready.status, 503);
+  bool has_retry_after = false;
+  for (const auto& [name, value] : not_ready.headers) {
+    if (name == "Retry-After") has_retry_after = true;
+  }
+  EXPECT_TRUE(has_retry_after);
+  EXPECT_EQ(not_ready.body, "draining\n");
+  // The legacy probe aliases readiness, so existing checks keep working.
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/healthz")).status, 503);
+  // In-flight work still completes while draining.
+  EXPECT_EQ(
+      f.server->Handle(MakeRequest("POST", "/v1/recommend", kSvmBody)).status,
+      200);
+
+  // The state is visible in /metrics for the soak monitor.
+  const std::string metrics =
+      f.server->Handle(MakeRequest("GET", "/metrics")).body;
+  EXPECT_NE(metrics.find("juggler_ready 0\n"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("juggler_draining 1\n"), std::string::npos);
+
+  f.server->SetDraining(false);
+  EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/readyz")).status, 200);
   EXPECT_EQ(f.server->Handle(MakeRequest("GET", "/healthz")).status, 200);
 }
 

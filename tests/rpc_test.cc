@@ -57,7 +57,7 @@ TEST(FrameTest, EncodeProducesDocumentedLayout) {
 
 TEST(FrameTest, RoundTripsEveryFrameType) {
   for (uint8_t t = static_cast<uint8_t>(FrameType::kPing);
-       t <= static_cast<uint8_t>(FrameType::kObserveReply); ++t) {
+       t <= static_cast<uint8_t>(FrameType::kWarmReply); ++t) {
     ASSERT_TRUE(IsKnownFrameType(t));
     const RpcFrame in = MakeFrame(static_cast<FrameType>(t), 77 + t,
                                   "payload-" + std::to_string(t));
@@ -72,7 +72,7 @@ TEST(FrameTest, RoundTripsEveryFrameType) {
     EXPECT_EQ(decoder.buffered_bytes(), 0u);
   }
   EXPECT_FALSE(IsKnownFrameType(0));
-  EXPECT_FALSE(IsKnownFrameType(12));
+  EXPECT_FALSE(IsKnownFrameType(14));
   EXPECT_FALSE(IsKnownFrameType(255));
 }
 
@@ -137,8 +137,8 @@ TEST(FrameTest, RejectsMalformedHeaders) {
   }
   {
     std::string wire = good;
-    wire[5] = 12;
-    cases.push_back({"frame type past kObserveReply", wire, "type"});
+    wire[5] = 14;
+    cases.push_back({"frame type past kWarmReply", wire, "type"});
   }
   {
     std::string wire = good;
